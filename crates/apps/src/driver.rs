@@ -1,0 +1,354 @@
+//! The application trait and the experiment driver.
+
+use shasta_cluster::{CostModel, Topology};
+use shasta_core::api::Dsm;
+use shasta_core::protocol::{Machine, ProtocolConfig, SetupCtx};
+use shasta_stats::RunStats;
+
+/// One processor's program.
+pub type Body = Box<dyn FnOnce(Dsm) + Send>;
+
+/// Problem-size preset.
+///
+/// `Tiny` keeps unit/integration tests fast; `Default` matches the shape of
+/// the paper's Table 1 inputs at simulator scale; `Large` is the analogue of
+/// Table 3's bigger inputs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Preset {
+    /// Very small inputs for tests.
+    Tiny,
+    /// The standard experiment size.
+    #[default]
+    Default,
+    /// The larger inputs of Table 3.
+    Large,
+}
+
+/// Options passed to [`DsmApp::plan`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlanOpts {
+    /// Number of processors to plan for.
+    pub procs: u32,
+    /// Apply the application's Table 2 coherence-granularity hints.
+    pub variable_granularity: bool,
+    /// Have processor 0 validate the result against the sequential
+    /// reference after the final barrier.
+    pub validate: bool,
+}
+
+/// A kernel that can run on the simulated DSM.
+pub trait DsmApp: Send + Sync {
+    /// Display name, matching the paper's tables (e.g. `"LU-Contig"`).
+    fn name(&self) -> &'static str;
+
+    /// Shared-heap bytes the kernel needs.
+    fn heap_bytes(&self) -> u64 {
+        1 << 24
+    }
+
+    /// Allocates and initializes shared data, returning one program per
+    /// processor.
+    fn plan(&self, s: &mut SetupCtx<'_>, opts: &PlanOpts) -> Vec<Body>;
+
+    /// Whether the paper applies the home-placement optimization to this
+    /// application (§4.3: FMM, LU-Contiguous, Ocean).
+    fn home_placement(&self) -> bool {
+        false
+    }
+
+    /// Whether Table 2 defines granularity hints for this application.
+    fn has_granularity_hints(&self) -> bool {
+        false
+    }
+
+    /// Check-surrogate intensity `(base, smp)` in permille of compute — the
+    /// application's instrumented instruction mix (how much of its inner-
+    /// loop work is checked scalar accesses). Calibrated per application
+    /// against Table 1 of the paper.
+    fn check_permille(&self) -> (u64, u64) {
+        (125, 205)
+    }
+}
+
+/// Which protocol stack executes the run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Proto {
+    /// Base-Shasta (clustering is forced to 1).
+    Base,
+    /// SMP-Shasta with the configured clustering.
+    Smp,
+    /// Hardware cache coherence (ANL baseline; single node).
+    Hardware,
+    /// The uninstrumented sequential baseline (one processor, no checks):
+    /// the denominator of every speedup in the paper.
+    Sequential,
+    /// Base-Shasta checks on one processor (Table 1's "with Base-Shasta
+    /// miss checks" column).
+    CheckedSeqBase,
+    /// SMP-Shasta checks on one processor (Table 1's "with SMP-Shasta miss
+    /// checks" column).
+    CheckedSeqSmp,
+}
+
+/// Full description of one experiment run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunConfig {
+    /// Protocol stack.
+    pub proto: Proto,
+    /// Processor count.
+    pub procs: u32,
+    /// SMP-Shasta clustering degree (ignored by other protocols).
+    pub clustering: u32,
+    /// Apply Table 2 granularity hints.
+    pub variable_granularity: bool,
+    /// Validate results against the sequential reference.
+    pub validate: bool,
+    /// Enable the shared-directory future-work extension (SMP only).
+    pub share_directory: bool,
+    /// Enable the load-balanced incoming-queue future-work extension
+    /// (SMP only; implies `share_directory`).
+    pub load_balance: bool,
+    /// Machine cost model.
+    pub cost: CostModel,
+}
+
+impl RunConfig {
+    /// Creates a config with paper-default cost model and no validation.
+    pub fn new(proto: Proto, procs: u32, clustering: u32) -> Self {
+        RunConfig {
+            proto,
+            procs,
+            clustering,
+            variable_granularity: false,
+            validate: false,
+            share_directory: false,
+            load_balance: false,
+            cost: CostModel::alpha_4100(),
+        }
+    }
+
+    /// Enables the shared-directory extension.
+    pub fn share_directory(mut self) -> Self {
+        self.share_directory = true;
+        self
+    }
+
+    /// Enables the load-balancing extension.
+    pub fn load_balance(mut self) -> Self {
+        self.load_balance = true;
+        self
+    }
+
+    /// Enables result validation.
+    pub fn validate(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    /// Enables the Table 2 granularity hints.
+    pub fn variable_granularity(mut self) -> Self {
+        self.variable_granularity = true;
+        self
+    }
+}
+
+/// Runs `app` under `cfg` and returns the collected statistics.
+///
+/// # Panics
+///
+/// Panics on invalid topology combinations, result-validation failures, or
+/// protocol-invariant violations (all of which indicate bugs, not expected
+/// runtime conditions).
+pub fn run_app(app: &dyn DsmApp, cfg: &RunConfig) -> RunStats {
+    let (procs, topo, proto_cfg) = match cfg.proto {
+        Proto::Base => {
+            let topo = Topology::paper_placement(cfg.procs, 1).expect("topology");
+            (cfg.procs, topo, ProtocolConfig::base())
+        }
+        Proto::Smp => {
+            let topo = Topology::paper_placement(cfg.procs, cfg.clustering).expect("topology");
+            (cfg.procs, topo, ProtocolConfig::smp())
+        }
+        Proto::Hardware => {
+            let topo = Topology::new(cfg.procs, cfg.procs, cfg.procs).expect("topology");
+            (cfg.procs, topo, ProtocolConfig::hardware())
+        }
+        Proto::Sequential => {
+            let topo = Topology::new(1, 1, 1).expect("topology");
+            (1, topo, ProtocolConfig::hardware())
+        }
+        Proto::CheckedSeqBase => {
+            let topo = Topology::new(1, 1, 1).expect("topology");
+            (1, topo, ProtocolConfig::base())
+        }
+        Proto::CheckedSeqSmp => {
+            let topo = Topology::new(1, 1, 1).expect("topology");
+            (1, topo, ProtocolConfig::smp())
+        }
+    };
+    let mut proto_cfg = proto_cfg;
+    if cfg.share_directory || cfg.load_balance {
+        assert_eq!(cfg.proto, Proto::Smp, "extensions apply to SMP-Shasta runs");
+        proto_cfg.share_directory = cfg.share_directory;
+        proto_cfg.load_balance_incoming = cfg.load_balance;
+    }
+    if proto_cfg.check.enabled {
+        let (base_pm, smp_pm) = app.check_permille();
+        proto_cfg.check.per_compute_permille =
+            match proto_cfg.check.flavor {
+                shasta_core::check::CheckFlavor::Base => base_pm,
+                shasta_core::check::CheckFlavor::Smp => smp_pm,
+            };
+    }
+    let mut machine = Machine::new(topo, cfg.cost.clone(), proto_cfg, app.heap_bytes());
+    let opts = PlanOpts {
+        procs,
+        variable_granularity: cfg.variable_granularity,
+        validate: cfg.validate,
+    };
+    let bodies = machine.setup(|s| app.plan(s, &opts));
+    machine.run(bodies)
+}
+
+/// Convenience: the sequential (no checks) execution time of `app`, the
+/// baseline for speedups and Table 1 overheads.
+pub fn sequential_cycles(app: &dyn DsmApp) -> u64 {
+    run_app(app, &RunConfig::new(Proto::Sequential, 1, 1)).elapsed_cycles
+}
+
+/// An entry in the application registry.
+pub struct AppSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Builds the kernel at a preset, with or without Table 2 hints.
+    pub build: fn(Preset, bool) -> Box<dyn DsmApp>,
+    /// Whether Table 2 defines granularity hints for this application.
+    pub in_table2: bool,
+    /// Whether Table 3 reports a larger input for this application.
+    pub in_table3: bool,
+}
+
+/// All nine applications in the paper's Table 1 order.
+pub fn registry() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "Barnes",
+            build: |p, vg| Box::new(crate::barnes::Barnes::new(p, vg)),
+            in_table2: true,
+            in_table3: true,
+        },
+        AppSpec {
+            name: "FMM",
+            build: |p, vg| Box::new(crate::fmm::Fmm::new(p, vg)),
+            in_table2: true,
+            in_table3: true,
+        },
+        AppSpec {
+            name: "LU",
+            build: |p, vg| Box::new(crate::lu::Lu::new(p, vg)),
+            in_table2: true,
+            in_table3: true,
+        },
+        AppSpec {
+            name: "LU-Contig",
+            build: |p, vg| Box::new(crate::lu::LuContig::new(p, vg)),
+            in_table2: true,
+            in_table3: true,
+        },
+        AppSpec {
+            name: "Ocean",
+            build: |p, vg| Box::new(crate::ocean::Ocean::new(p, vg)),
+            in_table2: false,
+            in_table3: true,
+        },
+        AppSpec {
+            name: "Raytrace",
+            build: |p, vg| Box::new(crate::raytrace::Raytrace::new(p, vg)),
+            in_table2: false,
+            in_table3: false,
+        },
+        AppSpec {
+            name: "Volrend",
+            build: |p, vg| Box::new(crate::volrend::Volrend::new(p, vg)),
+            in_table2: true,
+            in_table3: false,
+        },
+        AppSpec {
+            name: "Water-Nsq",
+            build: |p, vg| Box::new(crate::water::WaterNsq::new(p, vg)),
+            in_table2: true,
+            in_table3: true,
+        },
+        AppSpec {
+            name: "Water-Sp",
+            build: |p, vg| Box::new(crate::water::WaterSp::new(p, vg)),
+            in_table2: false,
+            in_table3: true,
+        },
+    ]
+}
+
+/// Splits `0..total` into `procs` contiguous chunks; returns chunk `p`.
+pub(crate) fn chunk(total: usize, procs: u32, p: u32) -> std::ops::Range<usize> {
+    let per = total.div_ceil(procs as usize);
+    let lo = (p as usize * per).min(total);
+    let hi = ((p as usize + 1) * per).min(total);
+    lo..hi
+}
+
+/// Asserts that two floating-point slices agree within a relative tolerance.
+pub(crate) fn assert_close(name: &str, got: &[f64], want: &[f64], tol: f64) {
+    assert_eq!(got.len(), want.len(), "{name}: result length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let scale = w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol * scale,
+            "{name}: element {i} diverged: got {g}, want {w}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_everything() {
+        for total in [0usize, 1, 7, 64, 100] {
+            for procs in [1u32, 2, 3, 8] {
+                let mut covered = 0;
+                for p in 0..procs {
+                    covered += chunk(total, procs, p).len();
+                }
+                assert_eq!(covered, total, "total {total} procs {procs}");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_names_match_paper_order() {
+        let names: Vec<_> = registry().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Barnes",
+                "FMM",
+                "LU",
+                "LU-Contig",
+                "Ocean",
+                "Raytrace",
+                "Volrend",
+                "Water-Nsq",
+                "Water-Sp"
+            ]
+        );
+        assert_eq!(registry().iter().filter(|s| s.in_table2).count(), 6);
+        assert_eq!(registry().iter().filter(|s| s.in_table3).count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn assert_close_catches_divergence() {
+        assert_close("x", &[1.0, 2.0], &[1.0, 2.5], 1e-9);
+    }
+}

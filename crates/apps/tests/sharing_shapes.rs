@@ -1,0 +1,122 @@
+//! Per-application sharing-pattern assertions: each kernel must exhibit the
+//! communication structure the paper attributes to it, at test scale.
+
+use shasta_apps::{registry, run_app, Preset, Proto, RunConfig};
+use shasta_stats::{Hops, MissKind, MsgClass, RunStats};
+
+fn run(name: &str, cfg: &RunConfig) -> RunStats {
+    let spec = registry().into_iter().find(|s| s.name == name).expect("registered");
+    let app = (spec.build)(Preset::Tiny, false);
+    run_app(app.as_ref(), cfg)
+}
+
+/// Ocean's nearest-neighbour rows with home placement: under Base-Shasta at
+/// 8 processors (4 per node), most protocol messages stay on-node.
+#[test]
+fn ocean_communication_is_mostly_local() {
+    let st = run("Ocean", &RunConfig::new(Proto::Base, 8, 1));
+    let local = st.messages.count(MsgClass::Local) as f64;
+    let total = st.messages.total() as f64;
+    assert!(
+        local / total > 0.5,
+        "nearest-neighbour traffic should be mostly intra-node ({:.0}%)",
+        local / total * 100.0
+    );
+}
+
+/// LU's 2-D scatter with round-robin homes: a healthy share of misses are
+/// 3-hop (requester, home, owner all distinct).
+#[test]
+fn lu_sees_three_hop_misses() {
+    let st = run("LU", &RunConfig::new(Proto::Base, 8, 1));
+    let three: u64 = MissKind::ALL.iter().map(|&k| st.misses.get(k, Hops::Three)).sum();
+    assert!(three > 0, "scattered blocks must produce 3-hop transactions");
+}
+
+/// LU-Contig with home placement: owners compute on their own blocks, so
+/// upgrades (no data motion) are rare relative to reads.
+#[test]
+fn lu_contig_reads_dominate() {
+    let st = run("LU-Contig", &RunConfig::new(Proto::Base, 8, 1));
+    let reads = st.misses.get(MissKind::Read, Hops::Two) + st.misses.get(MissKind::Read, Hops::Three);
+    let upgrades =
+        st.misses.get(MissKind::Upgrade, Hops::Two) + st.misses.get(MissKind::Upgrade, Hops::Three);
+    assert!(reads > upgrades, "panel reads dominate ({reads} reads vs {upgrades} upgrades)");
+}
+
+/// Barnes rebuilds its tree every step through processor 0, so cells flow
+/// outward: read misses dwarf write misses.
+#[test]
+fn barnes_is_read_dominated() {
+    let st = run("Barnes", &RunConfig::new(Proto::Smp, 8, 4));
+    let reads: u64 = Hops::ALL.iter().map(|&h| st.misses.get(MissKind::Read, h)).sum();
+    let writes: u64 = Hops::ALL.iter().map(|&h| st.misses.get(MissKind::Write, h)).sum();
+    assert!(reads > writes, "tree distribution is read traffic ({reads} vs {writes})");
+}
+
+/// Water-Nsq's locked accumulation makes molecule records migratory:
+/// upgrades and writes together outnumber... rather, downgrade events are
+/// plentiful and multi-message downgrades occur (Figure 8's signature).
+#[test]
+fn water_downgrades_are_multi_message() {
+    let st = run("Water-Nsq", &RunConfig::new(Proto::Smp, 8, 4));
+    assert!(st.downgrades.total() > 0);
+    let multi = st.downgrades.count(2) + st.downgrades.count(3);
+    assert!(
+        multi > 0,
+        "migratory molecules must trigger multi-message downgrades (hist mean {:.2})",
+        st.downgrades.mean()
+    );
+}
+
+/// Raytrace's scene is read-shared: after the one-per-node cold fetches,
+/// clustering 4 leaves almost nothing to transfer (big miss reduction).
+#[test]
+fn raytrace_scene_clusters_well() {
+    let base = run("Raytrace", &RunConfig::new(Proto::Base, 8, 1));
+    let c4 = run("Raytrace", &RunConfig::new(Proto::Smp, 8, 4));
+    assert!(
+        (c4.misses.total() as f64) < base.misses.total() as f64 * 0.7,
+        "read-shared scene: C4 misses {} vs Base {}",
+        c4.misses.total(),
+        base.misses.total()
+    );
+}
+
+/// Volrend's shared volume makes it read-latency bound: read stall time
+/// exceeds write stall time by a wide margin.
+#[test]
+fn volrend_is_read_latency_bound() {
+    use shasta_stats::TimeCat;
+    let st = run("Volrend", &RunConfig::new(Proto::Base, 8, 1));
+    let total = st.total_breakdown();
+    assert!(total.get(TimeCat::Read) > 2 * total.get(TimeCat::Write));
+}
+
+/// FMM with home placement: the P2M phase reads only local particles, so
+/// misses concentrate in the M2L/P2P exchange — total misses stay well
+/// below one per particle-phase access.
+#[test]
+fn fmm_home_placement_limits_misses() {
+    let st = run("FMM", &RunConfig::new(Proto::Base, 8, 1));
+    assert!(st.misses.total() > 0);
+    // The box array (read-shared) dominates: read misses outnumber
+    // write+upgrade misses.
+    let reads: u64 = Hops::ALL.iter().map(|&h| st.misses.get(MissKind::Read, h)).sum();
+    assert!(reads * 2 > st.misses.total());
+}
+
+/// Water-Sp's spatial partitioning localizes interaction: it produces fewer
+/// misses per molecule than Water-Nsq at the same processor count.
+#[test]
+fn spatial_water_is_more_local_than_nsq() {
+    let nsq = run("Water-Nsq", &RunConfig::new(Proto::Smp, 8, 4));
+    let sp = run("Water-Sp", &RunConfig::new(Proto::Smp, 8, 4));
+    // Tiny presets: 32 molecules (nsq) vs 64 (sp).
+    let nsq_per = nsq.misses.total() as f64 / 32.0;
+    let sp_per = sp.misses.total() as f64 / 64.0;
+    assert!(
+        sp_per < nsq_per,
+        "spatial cells localize sharing ({sp_per:.1} vs {nsq_per:.1} misses/molecule)"
+    );
+}

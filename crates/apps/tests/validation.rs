@@ -1,0 +1,100 @@
+//! Every application kernel, validated against its sequential reference
+//! under Base-Shasta, SMP-Shasta (several clusterings), and hardware
+//! coherence. The protocol's post-run audit (single owner, matching copies)
+//! also runs inside every one of these.
+
+use shasta_apps::{registry, run_app, Preset, Proto, RunConfig};
+
+fn validate_all(proto: Proto, procs: u32, clustering: u32, vg: bool) {
+    for spec in registry() {
+        let app = (spec.build)(Preset::Tiny, false);
+        let mut cfg = RunConfig::new(proto, procs, clustering).validate();
+        if vg {
+            cfg = cfg.variable_granularity();
+        }
+        let stats = run_app(app.as_ref(), &cfg);
+        assert!(stats.elapsed_cycles > 0, "{}: no time elapsed", spec.name);
+    }
+}
+
+#[test]
+fn all_apps_validate_on_base_shasta_8_procs() {
+    validate_all(Proto::Base, 8, 1, false);
+}
+
+#[test]
+fn all_apps_validate_on_smp_shasta_clustering_4() {
+    validate_all(Proto::Smp, 8, 4, false);
+}
+
+#[test]
+fn all_apps_validate_on_smp_shasta_clustering_2() {
+    validate_all(Proto::Smp, 8, 2, false);
+}
+
+#[test]
+fn all_apps_validate_on_smp_shasta_16_procs() {
+    validate_all(Proto::Smp, 16, 4, false);
+}
+
+#[test]
+fn all_apps_validate_with_variable_granularity() {
+    validate_all(Proto::Smp, 8, 4, true);
+}
+
+#[test]
+fn all_apps_validate_with_future_work_extensions() {
+    for spec in registry() {
+        let app = (spec.build)(Preset::Tiny, false);
+        let cfg = RunConfig::new(Proto::Smp, 8, 4).validate().share_directory();
+        run_app(app.as_ref(), &cfg);
+        let cfg = RunConfig::new(Proto::Smp, 8, 4).validate().load_balance();
+        run_app(app.as_ref(), &cfg);
+    }
+}
+
+#[test]
+fn all_apps_validate_on_hardware() {
+    validate_all(Proto::Hardware, 4, 4, false);
+}
+
+#[test]
+fn all_apps_validate_sequentially() {
+    validate_all(Proto::Sequential, 1, 1, false);
+}
+
+#[test]
+fn all_apps_validate_with_base_checks_on_one_proc() {
+    validate_all(Proto::CheckedSeqBase, 1, 1, false);
+    validate_all(Proto::CheckedSeqSmp, 1, 1, false);
+}
+
+/// Clustering reduces misses and messages for every application (the
+/// paper's headline qualitative claim, Figures 6 and 7).
+#[test]
+fn clustering_reduces_misses_and_messages() {
+    for spec in registry() {
+        let app = (spec.build)(Preset::Tiny, false);
+        let base = run_app(app.as_ref(), &RunConfig::new(Proto::Base, 8, 1));
+        let c4 = run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 8, 4));
+        assert!(
+            c4.misses.total() <= base.misses.total(),
+            "{}: C4 misses {} > Base misses {}",
+            spec.name,
+            c4.misses.total(),
+            base.misses.total()
+        );
+    }
+}
+
+/// Runs are deterministic for every app.
+#[test]
+fn app_runs_are_deterministic() {
+    for spec in registry() {
+        let app = (spec.build)(Preset::Tiny, false);
+        let cfg = RunConfig::new(Proto::Smp, 8, 4);
+        let a = run_app(app.as_ref(), &cfg);
+        let b = run_app(app.as_ref(), &cfg);
+        assert_eq!(a, b, "{}: nondeterministic run", spec.name);
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion benchmarks running each application kernel at the Tiny preset
+//! under both protocols — a regression harness for the whole stack
+//! (checks, protocol, scheduler, applications).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shasta_apps::{registry, run_app, Preset, Proto, RunConfig};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps_tiny");
+    group.sample_size(10);
+    for spec in registry() {
+        let app = (spec.build)(Preset::Tiny, false);
+        group.bench_with_input(BenchmarkId::new("base_8p", spec.name), &(), |b, ()| {
+            b.iter(|| run_app(app.as_ref(), &RunConfig::new(Proto::Base, 8, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("smp_8p_c4", spec.name), &(), |b, ()| {
+            b.iter(|| run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 8, 4)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

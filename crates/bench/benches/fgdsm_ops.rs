@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the real-threads runtime's data plane: the
+//! fence-free inline check costs (the paper's whole point is that these are
+//! a handful of instructions) and line-migration round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shasta_fgdsm::{Config, FgDsm, LINE_WORDS};
+
+fn bench_inline_paths(c: &mut Criterion) {
+    c.bench_function("fgdsm_hit_load_store_100k", |b| {
+        b.iter(|| {
+            let dsm = FgDsm::new(Config {
+                nodes: 1,
+                threads_per_node: 1,
+                words: LINE_WORDS,
+                poll_interval: 1_024,
+                ..Config::default()
+            });
+            dsm.run(|h| {
+                for i in 0..100_000u32 {
+                    let v = h.load(0);
+                    h.store(0, v.wrapping_add(i));
+                }
+            });
+        })
+    });
+}
+
+fn bench_migrations(c: &mut Criterion) {
+    c.bench_function("fgdsm_line_migrations_1k", |b| {
+        b.iter(|| {
+            let dsm = FgDsm::new(Config {
+                nodes: 2,
+                threads_per_node: 1,
+                words: LINE_WORDS,
+                ..Config::default()
+            });
+            dsm.run(|h| {
+                // Each node's thread alternates stores; every store misses
+                // and migrates the line.
+                for i in 0..500u32 {
+                    h.lock(0);
+                    let v = h.load(0);
+                    h.store(0, v + i);
+                    h.unlock(0);
+                }
+                h.barrier();
+            });
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_inline_paths, bench_migrations
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benchmarks of the protocol engine's critical paths: inline-hit
+//! throughput, miss servicing, downgrades, and synchronization — each as a
+//! small fixed machine run. These track *simulator* performance (host
+//! seconds); the paper-facing numbers (simulated cycles) come from the
+//! experiment binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shasta_cluster::{CostModel, Topology};
+use shasta_core::api::Dsm;
+use shasta_core::protocol::{Machine, ProtocolConfig};
+use shasta_core::space::{BlockHint, HomeHint};
+
+type Body = Box<dyn FnOnce(Dsm) + Send>;
+
+fn machine(procs: u32, clustering: u32, cfg: ProtocolConfig) -> (Machine, u64) {
+    let topo = Topology::paper_placement(procs, clustering).unwrap();
+    let mut m = Machine::new(topo, CostModel::alpha_4100(), cfg, 1 << 20);
+    let a = m.setup(|s| s.malloc(4_096, BlockHint::Line, HomeHint::Explicit(0)));
+    (m, a)
+}
+
+fn run(procs: u32, clustering: u32, cfg: ProtocolConfig, f: impl Fn(u32, &mut Dsm) + Send + Sync + Clone + 'static) {
+    let (mut m, a) = machine(procs, clustering, cfg);
+    let bodies: Vec<Body> = (0..procs)
+        .map(|p| {
+            let f = f.clone();
+            Box::new(move |mut dsm: Dsm| {
+                let _ = a;
+                f(p, &mut dsm)
+            }) as Body
+        })
+        .collect();
+    m.run(bodies);
+}
+
+fn bench_inline_hits(c: &mut Criterion) {
+    c.bench_function("inline_hit_loads_1k", |b| {
+        b.iter(|| {
+            let (mut m, a) = machine(1, 1, ProtocolConfig::smp());
+            let bodies: Vec<Body> = vec![Box::new(move |mut dsm: Dsm| {
+                dsm.store_u64(a, 7);
+                for _ in 0..1_000 {
+                    std::hint::black_box(dsm.load_u64(a));
+                }
+            })];
+            m.run(bodies);
+        })
+    });
+}
+
+fn bench_remote_misses(c: &mut Criterion) {
+    c.bench_function("remote_read_misses_64", |b| {
+        b.iter(|| {
+            run(8, 1, ProtocolConfig::base(), move |p, dsm| {
+                if p == 4 {
+                    for i in 0..64u64 {
+                        std::hint::black_box(dsm.load_u64(0x1000 + i * 64));
+                    }
+                }
+                dsm.barrier(0);
+            })
+        })
+    });
+}
+
+fn bench_downgrades(c: &mut Criterion) {
+    c.bench_function("downgrade_round_trips_32", |b| {
+        b.iter(|| {
+            run(8, 4, ProtocolConfig::smp(), move |p, dsm| {
+                // Node 0 writes; node 1 reads; repeat — every round forces
+                // an exclusive->shared downgrade with messages.
+                for i in 0..32u64 {
+                    if p < 2 {
+                        dsm.store_u64(0x1000, i);
+                    }
+                    dsm.barrier(2 * i as u32);
+                    if p >= 4 {
+                        std::hint::black_box(dsm.load_u64(0x1000));
+                    }
+                    dsm.barrier(2 * i as u32 + 1);
+                }
+            })
+        })
+    });
+}
+
+fn bench_sync(c: &mut Criterion) {
+    c.bench_function("lock_handoffs_256", |b| {
+        b.iter(|| {
+            run(8, 4, ProtocolConfig::smp(), move |_, dsm| {
+                for _ in 0..32 {
+                    dsm.acquire(5);
+                    dsm.compute(50);
+                    dsm.release(5);
+                }
+                dsm.barrier(0);
+            })
+        })
+    });
+    c.bench_function("barriers_64", |b| {
+        b.iter(|| {
+            run(8, 4, ProtocolConfig::smp(), move |_, dsm| {
+                for i in 0..64u32 {
+                    dsm.barrier(i);
+                }
+            })
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inline_hits, bench_remote_misses, bench_downgrades, bench_sync
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Ablations of the design decisions called out in DESIGN.md:
+//!
+//! * **D1** selective downgrades (private state tables) vs SoftFLASH-style
+//!   broadcast shootdowns,
+//! * **D4** request merging vs duplicate stalls,
+//! * **D6** non-blocking stores vs blocking stores,
+//! * **D7** home-serves-reads vs always forwarding to the owner,
+//! * **+shared dir**: the paper's §5 future-work extension (directory
+//!   state shared among a node's processors), measured as implemented here,
+//! * **+load bal**: the §3.1 load-balancing extension (shared incoming
+//!   queues; implies the shared directory).
+
+use shasta_apps::{registry, Proto, RunConfig};
+use shasta_bench::{preset_from_args, seq_cycles, speedup};
+use shasta_core::ProtocolConfig;
+use shasta_stats::{MsgClass, Table};
+
+fn run_with(
+    spec: &shasta_apps::AppSpec,
+    preset: shasta_apps::Preset,
+    tweak: impl Fn(&mut ProtocolConfig),
+) -> shasta_stats::RunStats {
+    // Rebuild the protocol config by hand via RunConfig + env knobs is not
+    // exposed; instead run through shasta_apps with a custom machine.
+    let app = (spec.build)(preset, false);
+    let cfg = RunConfig::new(Proto::Smp, 16, 4);
+    // run_app constructs ProtocolConfig::smp() internally; for ablations we
+    // mirror its construction with the tweak applied.
+    let _ = &tweak;
+    run_app_with(app.as_ref(), &cfg, tweak)
+}
+
+/// `shasta_apps::run_app` with a protocol-config hook.
+fn run_app_with(
+    app: &dyn shasta_apps::DsmApp,
+    cfg: &RunConfig,
+    tweak: impl Fn(&mut ProtocolConfig),
+) -> shasta_stats::RunStats {
+    use shasta_cluster::Topology;
+    use shasta_core::protocol::Machine;
+    let topo = Topology::paper_placement(cfg.procs, cfg.clustering).expect("topology");
+    let mut proto = ProtocolConfig::smp();
+    let (_, smp_pm) = app.check_permille();
+    proto.check.per_compute_permille = smp_pm;
+    tweak(&mut proto);
+    let mut machine = Machine::new(topo, cfg.cost.clone(), proto, app.heap_bytes());
+    let opts = shasta_apps::PlanOpts {
+        procs: cfg.procs,
+        variable_granularity: cfg.variable_granularity,
+        validate: cfg.validate,
+    };
+    let bodies = machine.setup(|s| app.plan(s, &opts));
+    machine.run(bodies)
+}
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Design-decision ablations, SMP-Shasta 16 processors clustering 4 ({preset:?} inputs)\n");
+    let mut t = Table::new(vec![
+        "app",
+        "paper design",
+        "D1 broadcast",
+        "dg msgs x",
+        "D4 no merge",
+        "D6 blocking",
+        "D7 no home-read",
+        "+shared dir",
+        "local msgs x",
+        "+load bal",
+    ]);
+    for spec in registry() {
+        let seq = seq_cycles(&spec, preset);
+        let full = run_with(&spec, preset, |_| {});
+        let d1 = run_with(&spec, preset, |c| c.selective_downgrades = false);
+        let d4 = run_with(&spec, preset, |c| c.merge_requests = false);
+        let d6 = run_with(&spec, preset, |c| c.nonblocking_stores = false);
+        let d7 = run_with(&spec, preset, |c| c.home_serves_reads = false);
+        let sd = run_with(&spec, preset, |c| c.share_directory = true);
+        let lb = run_with(&spec, preset, |c| c.load_balance_incoming = true);
+        let dg_ratio = d1.messages.count(MsgClass::Downgrade) as f64
+            / full.messages.count(MsgClass::Downgrade).max(1) as f64;
+        t.row(vec![
+            spec.name.to_string(),
+            speedup(seq, full.elapsed_cycles),
+            speedup(seq, d1.elapsed_cycles),
+            format!("{dg_ratio:.1}x"),
+            speedup(seq, d4.elapsed_cycles),
+            speedup(seq, d6.elapsed_cycles),
+            speedup(seq, d7.elapsed_cycles),
+            speedup(seq, sd.elapsed_cycles),
+            format!(
+                "{:.2}x",
+                sd.messages.count(MsgClass::Local) as f64
+                    / full.messages.count(MsgClass::Local).max(1) as f64
+            ),
+            speedup(seq, lb.elapsed_cycles),
+        ]);
+    }
+    println!("{t}");
+    println!("(speedups vs the uninstrumented sequential run; 'dg msgs x' is the");
+    println!(" downgrade-message inflation of broadcast shootdowns vs selective)");
+}

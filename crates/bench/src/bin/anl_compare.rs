@@ -1,0 +1,29 @@
+//! §4.3's efficiency check: 4 processors on one SMP under hardware cache
+//! coherence (ANL macros) vs SMP-Shasta with clustering 4. The paper reports
+//! SMP-Shasta an average of 12.7% slower, the difference being mostly inline
+//! checking overhead.
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{overhead, preset_from_args, run, secs};
+use shasta_stats::Table;
+
+fn main() {
+    let preset = preset_from_args();
+    println!("ANL (hardware) vs SMP-Shasta, 4 processors on one node ({preset:?} inputs)\n");
+    let mut t = Table::new(vec!["app", "ANL", "SMP-Shasta C4", "slowdown"]);
+    let (mut sum, mut n) = (0.0, 0u32);
+    for spec in registry() {
+        let hw = run(&spec, preset, Proto::Hardware, 4, 4, false).elapsed_cycles;
+        let smp = run(&spec, preset, Proto::Smp, 4, 4, false).elapsed_cycles;
+        sum += smp as f64 / hw as f64 - 1.0;
+        n += 1;
+        t.row(vec![
+            spec.name.to_string(),
+            secs(hw),
+            secs(smp),
+            overhead(smp, hw),
+        ]);
+    }
+    println!("{t}");
+    println!("average slowdown: {:.1}%   (paper: 12.7%)", sum / n as f64 * 100.0);
+}

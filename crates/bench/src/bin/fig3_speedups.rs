@@ -1,0 +1,33 @@
+//! Figure 3: speedups of the SPLASH-2 applications on 1–16 processors under
+//! Base-Shasta and SMP-Shasta (clustering 2 at 2 processors, 4 at 4–16).
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{preset_from_args, run, seq_cycles, speedup, PAPER_POINTS};
+use shasta_stats::Table;
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Figure 3: speedups vs the uninstrumented sequential run ({preset:?} inputs)\n");
+    for proto in [Proto::Base, Proto::Smp] {
+        let label = if proto == Proto::Base { "Base-Shasta" } else { "SMP-Shasta" };
+        println!("--- {label} ---");
+        let mut t = Table::new(vec!["app", "1", "2", "4", "8", "16"]);
+        for spec in registry() {
+            let seq = seq_cycles(&spec, preset);
+            let mut row = vec![spec.name.to_string()];
+            // One processor: the instrumented uniprocessor run.
+            let p1 = match proto {
+                Proto::Base => Proto::CheckedSeqBase,
+                _ => Proto::CheckedSeqSmp,
+            };
+            row.push(speedup(seq, run(&spec, preset, p1, 1, 1, false).elapsed_cycles));
+            for (procs, clustering) in PAPER_POINTS {
+                let clus = if proto == Proto::Base { 1 } else { clustering };
+                let st = run(&spec, preset, proto, procs, clus, false);
+                row.push(speedup(seq, st.elapsed_cycles));
+            }
+            t.row(row);
+        }
+        println!("{t}");
+    }
+}

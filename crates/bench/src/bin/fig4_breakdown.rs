@@ -1,0 +1,25 @@
+//! Figure 4: execution-time breakdowns for 8- and 16-processor runs on
+//! Base-Shasta ("B") and SMP-Shasta with clustering 1, 2 and 4 ("C1", "C2",
+//! "C4"), normalized to the Base-Shasta run of each application.
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{breakdown_bar, preset_from_args, run};
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Figure 4: execution-time breakdowns, normalized to Base-Shasta ({preset:?} inputs)\n");
+    for procs in [8u32, 16] {
+        println!("=== {procs}-processor runs ===");
+        for spec in registry() {
+            println!("{}:", spec.name);
+            let base = run(&spec, preset, Proto::Base, procs, 1, false);
+            let norm = base.elapsed_cycles;
+            println!("  {}", breakdown_bar("B", &base, norm));
+            for clustering in [1u32, 2, 4] {
+                let st = run(&spec, preset, Proto::Smp, procs, clustering, false);
+                println!("  {}", breakdown_bar(&format!("C{clustering}"), &st, norm));
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 5: execution-time breakdowns with the Table 2 variable-granularity
+//! hints applied, for 8- and 16-processor runs (B / C1 / C2 / C4), normalized
+//! to each application's variable-granularity Base-Shasta run.
+
+use shasta_apps::Proto;
+use shasta_bench::{apps_for, breakdown_bar, preset_from_args, run};
+
+fn main() {
+    let preset = preset_from_args();
+    println!(
+        "Figure 5: breakdowns with variable granularity, normalized to Base-Shasta ({preset:?} inputs)\n"
+    );
+    for procs in [8u32, 16] {
+        println!("=== {procs}-processor runs ===");
+        for spec in apps_for(true, false) {
+            println!("{}:", spec.name);
+            let base = run(&spec, preset, Proto::Base, procs, 1, true);
+            let norm = base.elapsed_cycles;
+            println!("  {}", breakdown_bar("B", &base, norm));
+            for clustering in [1u32, 2, 4] {
+                let st = run(&spec, preset, Proto::Smp, procs, clustering, true);
+                println!("  {}", breakdown_bar(&format!("C{clustering}"), &st, norm));
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 6: software misses in 8- and 16-processor runs, classified by
+//! request type (read / write / upgrade) and hops (2 / 3), for Base-Shasta
+//! and SMP-Shasta with clustering 2 and 4, normalized to the Base-Shasta
+//! total of each application.
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{preset_from_args, run};
+use shasta_stats::{Hops, MissKind, RunStats};
+
+fn bar(label: &str, st: &RunStats, norm: u64) -> String {
+    let pct = |n: u64| n as f64 / norm as f64 * 100.0;
+    let mut out = format!("{label:<4} {:>6.1}% |", pct(st.misses.total()));
+    for kind in MissKind::ALL {
+        for hops in Hops::ALL {
+            out.push_str(&format!(
+                " {}-{}={:.1}%",
+                kind.label(),
+                hops.label(),
+                pct(st.misses.get(kind, hops))
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Figure 6: misses by type and hops, normalized to Base-Shasta ({preset:?} inputs)\n");
+    for procs in [8u32, 16] {
+        println!("=== {procs}-processor runs ===");
+        for spec in registry() {
+            println!("{}:", spec.name);
+            let base = run(&spec, preset, Proto::Base, procs, 1, false);
+            let norm = base.misses.total().max(1);
+            println!("  {}", bar("B", &base, norm));
+            for clustering in [2u32, 4] {
+                let st = run(&spec, preset, Proto::Smp, procs, clustering, false);
+                println!("  {}", bar(&format!("C{clustering}"), &st, norm));
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 7: protocol messages in 8- and 16-processor runs, classified
+//! remote / local / downgrade, for Base-Shasta and SMP-Shasta with
+//! clustering 2 and 4, normalized to the Base-Shasta total.
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{preset_from_args, run};
+use shasta_stats::{MsgClass, RunStats};
+
+fn bar(label: &str, st: &RunStats, norm: u64) -> String {
+    let pct = |n: u64| n as f64 / norm as f64 * 100.0;
+    let mut out = format!("{label:<4} {:>6.1}% |", pct(st.messages.total()));
+    for class in MsgClass::ALL {
+        out.push_str(&format!(" {}={:.1}%", class.label(), pct(st.messages.count(class))));
+    }
+    out
+}
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Figure 7: messages by class, normalized to Base-Shasta ({preset:?} inputs)\n");
+    for procs in [8u32, 16] {
+        println!("=== {procs}-processor runs ===");
+        for spec in registry() {
+            println!("{}:", spec.name);
+            let base = run(&spec, preset, Proto::Base, procs, 1, false);
+            let norm = base.messages.total().max(1);
+            println!("  {}", bar("B", &base, norm));
+            for clustering in [2u32, 4] {
+                let st = run(&spec, preset, Proto::Smp, procs, clustering, false);
+                println!("  {}", bar(&format!("C{clustering}"), &st, norm));
+            }
+        }
+        println!();
+    }
+}

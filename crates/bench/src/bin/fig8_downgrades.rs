@@ -1,0 +1,31 @@
+//! Figure 8: the distribution of downgrade messages sent per block downgrade
+//! in 8- and 16-processor SMP-Shasta runs (clustering 4).
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{preset_from_args, run};
+use shasta_stats::Table;
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Figure 8: downgrade-message distribution, SMP-Shasta clustering 4 ({preset:?} inputs)\n");
+    for procs in [8u32, 16] {
+        println!("=== {procs}-processor runs ===");
+        let mut t =
+            Table::new(vec!["app", "downgrades", "0 msgs", "1 msg", "2 msgs", "3 msgs", "mean"]);
+        for spec in registry() {
+            let st = run(&spec, preset, Proto::Smp, procs, 4, false);
+            let h = &st.downgrades;
+            let pct = |k: usize| format!("{:.1}%", h.fraction(k) * 100.0);
+            t.row(vec![
+                spec.name.to_string(),
+                h.total().to_string(),
+                pct(0),
+                pct(1),
+                pct(2),
+                pct(3),
+                format!("{:.2}", h.mean()),
+            ]);
+        }
+        println!("{t}");
+    }
+}

@@ -1,0 +1,36 @@
+//! Quick calibration probe: one app across configs.
+use shasta_apps::{run_app, Preset, Proto, RunConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("LU");
+    let preset = match args.get(2).map(String::as_str) {
+        Some("tiny") => Preset::Tiny,
+        Some("large") => Preset::Large,
+        _ => Preset::Default,
+    };
+    let spec = shasta_apps::registry().into_iter().find(|s| s.name == name).expect("app");
+    let app = (spec.build)(preset, false);
+    let t0 = Instant::now();
+    let seq = run_app(app.as_ref(), &RunConfig::new(Proto::Sequential, 1, 1));
+    println!("seq: {} cycles ({:.2}s sim) wall {:?}", seq.elapsed_cycles, seq.elapsed_cycles as f64/300e6, t0.elapsed());
+    for (proto, procs, clus, label) in [
+        (Proto::CheckedSeqBase, 1, 1, "base-checks-1p"),
+        (Proto::CheckedSeqSmp, 1, 1, "smp-checks-1p"),
+        (Proto::Base, 4, 1, "base-4p"),
+        (Proto::Base, 8, 1, "base-8p"),
+        (Proto::Base, 16, 1, "base-16p"),
+        (Proto::Smp, 8, 4, "smp-8p-c4"),
+        (Proto::Smp, 16, 2, "smp-16p-c2"),
+        (Proto::Smp, 16, 4, "smp-16p-c4"),
+    ] {
+        let t0 = Instant::now();
+        let st = run_app(app.as_ref(), &RunConfig::new(proto, procs, clus));
+        let sp = seq.elapsed_cycles as f64 / st.elapsed_cycles as f64;
+        println!(
+            "{label:>16}: speedup {sp:5.2}  misses {:6}  msgs {:7} dg {:5} wall {:?}",
+            st.misses.total(), st.messages.total(), st.downgrades.total(), t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Table 1: sequential times and checking overheads for the nine SPLASH-2
+//! applications (Base-Shasta vs SMP-Shasta miss checks, one processor).
+
+use shasta_apps::{registry, Proto};
+use shasta_bench::{overhead, preset_from_args, run, secs, seq_cycles};
+use shasta_stats::Table;
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Table 1: sequential times and checking overheads ({preset:?} inputs)\n");
+    let mut t = Table::new(vec!["app", "sequential", "Base checks", "SMP checks"]);
+    let (mut base_sum, mut smp_sum, mut n) = (0.0, 0.0, 0u32);
+    for spec in registry() {
+        let seq = seq_cycles(&spec, preset);
+        let base = run(&spec, preset, Proto::CheckedSeqBase, 1, 1, false).elapsed_cycles;
+        let smp = run(&spec, preset, Proto::CheckedSeqSmp, 1, 1, false).elapsed_cycles;
+        base_sum += base as f64 / seq as f64 - 1.0;
+        smp_sum += smp as f64 / seq as f64 - 1.0;
+        n += 1;
+        t.row(vec![
+            spec.name.to_string(),
+            secs(seq),
+            format!("{} ({})", secs(base), overhead(base, seq)),
+            format!("{} ({})", secs(smp), overhead(smp, seq)),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "average overhead: Base {:.1}%  SMP {:.1}%   (paper: 14.7% / 24.0%)",
+        base_sum / n as f64 * 100.0,
+        smp_sum / n as f64 * 100.0
+    );
+}

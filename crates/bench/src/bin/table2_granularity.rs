@@ -1,0 +1,39 @@
+//! Table 2: effect of variable coherence granularity in Base-Shasta —
+//! 16-processor speedups with the default 64-byte blocks vs the per-
+//! application block-size hints.
+
+use shasta_apps::Proto;
+use shasta_bench::{apps_for, preset_from_args, run, seq_cycles, speedup};
+use shasta_stats::Table;
+
+fn main() {
+    let preset = preset_from_args();
+    println!("Table 2: variable block size under Base-Shasta, 16 processors ({preset:?} inputs)\n");
+    let hints = [
+        ("Barnes", "cell, leaf arrays", "512"),
+        ("FMM", "box array", "256"),
+        ("LU", "matrix array", "128"),
+        ("LU-Contig", "matrix block", "2048"),
+        ("Volrend", "opacity, normal maps", "1024"),
+        ("Water-Nsq", "molecule array", "2048"),
+    ];
+    let mut t = Table::new(vec!["app", "data structure(s)", "block bytes", "default 64B", "specified"]);
+    for spec in apps_for(true, false) {
+        let (_, structures, bytes) = hints
+            .iter()
+            .find(|(n, _, _)| *n == spec.name)
+            .copied()
+            .unwrap_or((spec.name, "-", "-"));
+        let seq = seq_cycles(&spec, preset);
+        let default = run(&spec, preset, Proto::Base, 16, 1, false);
+        let vg = run(&spec, preset, Proto::Base, 16, 1, true);
+        t.row(vec![
+            spec.name.to_string(),
+            structures.to_string(),
+            bytes.to_string(),
+            speedup(seq, default.elapsed_cycles),
+            speedup(seq, vg.elapsed_cycles),
+        ]);
+    }
+    println!("{t}");
+}

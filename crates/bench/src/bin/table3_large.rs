@@ -1,0 +1,35 @@
+//! Table 3: larger problem sizes — sequential time, checking overheads, and
+//! 16-processor speedups for Base-Shasta and SMP-Shasta (clustering 4).
+
+use shasta_apps::{Preset, Proto};
+use shasta_bench::{apps_for, overhead, run, secs, seq_cycles, speedup};
+use shasta_stats::Table;
+
+fn main() {
+    let preset = Preset::Large;
+    println!("Table 3: larger problem sizes (64-byte lines)\n");
+    let mut t = Table::new(vec![
+        "app",
+        "sequential",
+        "Base ovh",
+        "SMP ovh",
+        "Base 16p",
+        "SMP 16p",
+    ]);
+    for spec in apps_for(false, true) {
+        let seq = seq_cycles(&spec, preset);
+        let base1 = run(&spec, preset, Proto::CheckedSeqBase, 1, 1, false).elapsed_cycles;
+        let smp1 = run(&spec, preset, Proto::CheckedSeqSmp, 1, 1, false).elapsed_cycles;
+        let base16 = run(&spec, preset, Proto::Base, 16, 1, false).elapsed_cycles;
+        let smp16 = run(&spec, preset, Proto::Smp, 16, 4, false).elapsed_cycles;
+        t.row(vec![
+            spec.name.to_string(),
+            secs(seq),
+            overhead(base1, seq),
+            overhead(smp1, seq),
+            speedup(seq, base16),
+            speedup(seq, smp16),
+        ]);
+    }
+    println!("{t}");
+}

@@ -1,0 +1,119 @@
+#![warn(missing_docs)]
+
+//! Experiment harness shared by the per-table/per-figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s per-experiment index): it sweeps the applications
+//! through the relevant protocol/processor/clustering configurations via
+//! [`shasta_apps::run_app`] and prints paper-style rows with
+//! [`shasta_stats::Table`].
+//!
+//! Run them all with `cargo run --release -p shasta-bench --bin all_experiments`.
+
+use shasta_apps::{registry, run_app, AppSpec, Preset, Proto, RunConfig};
+use shasta_stats::{RunStats, TimeCat};
+
+/// The processor/clustering points of the paper's parallel runs: 2- and
+/// 4-processor runs use one node; 8 and 16 use two and four nodes (§4.3),
+/// and SMP-Shasta uses clustering 2 at 2 processors, 4 elsewhere.
+pub const PAPER_POINTS: [(u32, u32); 4] = [(2, 2), (4, 4), (8, 4), (16, 4)];
+
+/// Runs `spec` at one configuration.
+pub fn run(
+    spec: &AppSpec,
+    preset: Preset,
+    proto: Proto,
+    procs: u32,
+    clustering: u32,
+    vg: bool,
+) -> RunStats {
+    let app = (spec.build)(preset, false);
+    let mut cfg = RunConfig::new(proto, procs, clustering);
+    if vg {
+        cfg = cfg.variable_granularity();
+    }
+    run_app(app.as_ref(), &cfg)
+}
+
+/// Sequential baseline cycles for `spec` at `preset`.
+pub fn seq_cycles(spec: &AppSpec, preset: Preset) -> u64 {
+    run(spec, preset, Proto::Sequential, 1, 1, false).elapsed_cycles
+}
+
+/// Formats a cycle count as simulated seconds at 300 MHz.
+pub fn secs(cycles: u64) -> String {
+    format!("{:.2}s", cycles as f64 / 300e6)
+}
+
+/// Formats an overhead percentage relative to `base`.
+pub fn overhead(cycles: u64, base: u64) -> String {
+    format!("{:.1}%", (cycles as f64 / base as f64 - 1.0) * 100.0)
+}
+
+/// Formats a speedup.
+pub fn speedup(seq: u64, par: u64) -> String {
+    format!("{:.2}", seq as f64 / par as f64)
+}
+
+/// Renders one execution-time bar (normalized to `norm` cycles): total
+/// percent plus the six category percentages — the textual analogue of one
+/// bar in Figures 4 and 5.
+pub fn breakdown_bar(label: &str, stats: &RunStats, norm: u64) -> String {
+    let total = stats.total_breakdown();
+    let scale = stats.elapsed_cycles as f64 / norm as f64 * 100.0;
+    let mut out = format!("{label:<4} {scale:>6.1}% |");
+    for cat in TimeCat::ALL {
+        out.push_str(&format!(" {}={:>4.1}%", cat.label(), total.fraction(cat) * scale));
+    }
+    out
+}
+
+/// Applications selected for a table, in registry order.
+pub fn apps_for(table2_only: bool, table3_only: bool) -> Vec<AppSpec> {
+    registry()
+        .into_iter()
+        .filter(|s| (!table2_only || s.in_table2) && (!table3_only || s.in_table3))
+        .collect()
+}
+
+/// Parses the common `--preset tiny|default|large` CLI flag (the
+/// `SHASTA_PRESET` env var is also honoured) so experiments can be
+/// smoke-tested quickly; defaults to `default`.
+pub fn preset_from_args() -> Preset {
+    let mut preset = std::env::var("SHASTA_PRESET").unwrap_or_default();
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--preset") {
+        if let Some(v) = args.get(i + 1) {
+            preset = v.clone();
+        }
+    }
+    match preset.as_str() {
+        "tiny" => Preset::Tiny,
+        "large" => Preset::Large,
+        _ => Preset::Default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(300_000_000), "1.00s");
+        assert_eq!(overhead(121, 100), "21.0%");
+        assert_eq!(speedup(100, 20), "5.00");
+    }
+
+    #[test]
+    fn paper_points_match_section_4_3() {
+        assert_eq!(PAPER_POINTS, [(2, 2), (4, 4), (8, 4), (16, 4)]);
+    }
+
+    #[test]
+    fn app_filters() {
+        assert_eq!(apps_for(false, false).len(), 9);
+        assert_eq!(apps_for(true, false).len(), 6);
+        assert_eq!(apps_for(false, true).len(), 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! Latency and occupancy constants, in 300 MHz processor cycles.
+//!
+//! Every time-valued constant of the simulated machine and protocol runtime
+//! lives here, so that calibration (and ablation) is a matter of constructing
+//! a different [`CostModel`]. The defaults are chosen so that the end-to-end
+//! microbenchmarks of §4.1 and §4.4 of the paper come out right:
+//!
+//! * one-way user-to-user Memory Channel latency ≈ 4 µs,
+//! * two-hop remote fetch of a 64-byte block ≈ 20 µs (Base-Shasta),
+//! * intra-node fetch of a 64-byte block ≈ 11 µs (Base-Shasta messages
+//!   through a shared-memory segment),
+//! * effective remote bandwidth for large blocks ≈ 35 MB/s,
+//! * SMP-Shasta read latency a few µs above Base-Shasta (protocol locking),
+//! * +≈10 µs for a downgrade with one message, +≈5 µs per additional message.
+//!
+//! `crates/bench/src/bin/micro_latency.rs` re-measures all of these through
+//! the full protocol stack and `EXPERIMENTS.md` records the results.
+
+use serde::{Deserialize, Serialize};
+
+/// All machine/runtime cost constants, in processor cycles.
+///
+/// Construct with [`CostModel::alpha_4100`] for the paper's machine, or use
+/// struct-update syntax for ablations:
+///
+/// ```
+/// use shasta_cluster::CostModel;
+///
+/// let slow_net = CostModel { mc_oneway_cycles: 3_000, ..CostModel::alpha_4100() };
+/// assert!(slow_net.wire_cycles(false, 64) > CostModel::alpha_4100().wire_cycles(false, 64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Processor clock, used only for cycle/µs conversion (Alpha 21164: 300).
+    pub cpu_mhz: u64,
+
+    // ---- wires -------------------------------------------------------
+    /// One-way Memory Channel latency, user process to user process (≈4 µs).
+    pub mc_oneway_cycles: u64,
+    /// Additional Memory Channel occupancy per payload byte (≈60 MB/s link).
+    pub mc_per_byte_cycles: u64,
+    /// One-way latency of an intra-node message through the shared-memory
+    /// segment (cache-to-cache transfer plus queue bookkeeping).
+    pub local_oneway_cycles: u64,
+    /// Per-byte cost of an intra-node message (1 GB/s system bus).
+    pub local_per_byte_cycles: u64,
+    /// Protocol message header size in bytes (adds wire occupancy).
+    pub header_bytes: u64,
+
+    // ---- message plumbing -------------------------------------------
+    /// Composing and enqueueing a message at the sender.
+    pub msg_send_cycles: u64,
+    /// Noticing a message at a poll point and dispatching to its handler.
+    pub msg_dispatch_cycles: u64,
+
+    // ---- requester-side ----------------------------------------------
+    /// Entering the protocol from a failed inline check (register save etc.).
+    pub protocol_entry_cycles: u64,
+    /// Allocating / updating a miss-table entry.
+    pub miss_entry_cycles: u64,
+    /// Receiving a data reply: merging reply data with pending stores,
+    /// updating the state table, resuming the stalled access.
+    pub reply_receive_cycles: u64,
+
+    // ---- home / owner handlers ----------------------------------------
+    /// Home or owner servicing a read request with data.
+    pub handler_read_cycles: u64,
+    /// Home or owner servicing a read-exclusive (write) request with data.
+    pub handler_write_cycles: u64,
+    /// Home servicing an exclusive (upgrade) request.
+    pub handler_upgrade_cycles: u64,
+    /// Home looking up the directory and forwarding a request to the owner.
+    pub handler_fwd_cycles: u64,
+    /// Home applying a directory update (sharing write-back) from the owner.
+    pub handler_dirupdate_cycles: u64,
+    /// A sharer processing an invalidation request (state change).
+    pub inv_handler_cycles: u64,
+    /// Writing the invalid-flag value into one line being invalidated.
+    pub flag_write_per_line_cycles: u64,
+    /// Processing an invalidation acknowledgement.
+    pub ack_handler_cycles: u64,
+
+    // ---- SMP-Shasta extras ---------------------------------------------
+    /// Acquiring + releasing one hashed line lock in protocol code.
+    pub smp_lock_cycles: u64,
+    /// Reading one other processor's private-state-table entry during a
+    /// downgrade decision.
+    pub priv_check_cycles: u64,
+    /// Upgrading the local private state table after finding the block
+    /// locally available in the shared state table ("other" time).
+    pub priv_upgrade_cycles: u64,
+    /// Setting up the pending-downgrade state (saving the deferred action and
+    /// downgrade count) the first time a downgrade message must be sent.
+    pub downgrade_setup_cycles: u64,
+    /// A processor handling one incoming downgrade message.
+    pub downgrade_handler_cycles: u64,
+    /// The last downgrader executing the deferred protocol action.
+    pub deferred_action_cycles: u64,
+
+    // ---- application synchronization -----------------------------------
+    /// Lock manager processing an acquire/release request.
+    pub lock_mgr_cycles: u64,
+    /// Barrier manager processing one arrival / issuing one release.
+    pub barrier_mgr_cycles: u64,
+    /// Requester-side overhead of issuing a synchronization request.
+    pub sync_issue_cycles: u64,
+    /// Hardware (ANL-macro) lock acquire+release cost, single-SMP baseline.
+    pub hw_lock_cycles: u64,
+    /// Hardware (ANL-macro) barrier cost per participating processor.
+    pub hw_barrier_cycles: u64,
+}
+
+impl CostModel {
+    /// The paper's prototype: 300 MHz Alpha 21164s, Memory Channel network.
+    pub fn alpha_4100() -> Self {
+        CostModel {
+            cpu_mhz: 300,
+            mc_oneway_cycles: 1_200,
+            mc_per_byte_cycles: 5,
+            local_oneway_cycles: 150,
+            local_per_byte_cycles: 1,
+            header_bytes: 16,
+            msg_send_cycles: 150,
+            msg_dispatch_cycles: 200,
+            protocol_entry_cycles: 100,
+            miss_entry_cycles: 150,
+            reply_receive_cycles: 800,
+            handler_read_cycles: 1_100,
+            handler_write_cycles: 1_200,
+            handler_upgrade_cycles: 700,
+            handler_fwd_cycles: 400,
+            handler_dirupdate_cycles: 250,
+            inv_handler_cycles: 400,
+            flag_write_per_line_cycles: 50,
+            ack_handler_cycles: 100,
+            smp_lock_cycles: 150,
+            priv_check_cycles: 60,
+            priv_upgrade_cycles: 250,
+            downgrade_setup_cycles: 700,
+            downgrade_handler_cycles: 900,
+            deferred_action_cycles: 1_000,
+            lock_mgr_cycles: 200,
+            barrier_mgr_cycles: 150,
+            sync_issue_cycles: 100,
+            hw_lock_cycles: 60,
+            hw_barrier_cycles: 100,
+        }
+    }
+
+    /// Converts microseconds to cycles at this model's clock rate.
+    pub fn us_to_cycles(&self, us: f64) -> u64 {
+        (us * self.cpu_mhz as f64).round() as u64
+    }
+
+    /// Converts cycles to microseconds at this model's clock rate.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cpu_mhz as f64
+    }
+
+    /// Wire latency (cycles) for a message with `payload_bytes` of data,
+    /// including the protocol header. `local` selects the intra-node
+    /// shared-memory path instead of the Memory Channel.
+    pub fn wire_cycles(&self, local: bool, payload_bytes: u64) -> u64 {
+        let bytes = payload_bytes + self.header_bytes;
+        if local {
+            self.local_oneway_cycles + self.local_per_byte_cycles * bytes
+        } else {
+            self.mc_oneway_cycles + self.mc_per_byte_cycles * bytes
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::alpha_4100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Back-of-envelope check that the constants compose to the paper's
+    /// §4.1 numbers. The authoritative calibration test drives the full
+    /// protocol (see `shasta-core`); this one guards against accidental
+    /// constant drift.
+    #[test]
+    fn two_hop_remote_read_is_about_20us() {
+        let c = CostModel::alpha_4100();
+        let total = c.protocol_entry_cycles
+            + c.miss_entry_cycles
+            + c.msg_send_cycles
+            + c.wire_cycles(false, 0)
+            + c.msg_dispatch_cycles
+            + c.handler_read_cycles
+            + c.msg_send_cycles
+            + c.wire_cycles(false, 64)
+            + c.msg_dispatch_cycles
+            + c.reply_receive_cycles;
+        let us = c.cycles_to_us(total);
+        assert!((17.0..=22.0).contains(&us), "remote 64B fetch = {us:.1} µs, want ~20");
+    }
+
+    #[test]
+    fn intra_node_read_is_about_11us() {
+        let c = CostModel::alpha_4100();
+        let total = c.protocol_entry_cycles
+            + c.miss_entry_cycles
+            + c.msg_send_cycles
+            + c.wire_cycles(true, 0)
+            + c.msg_dispatch_cycles
+            + c.handler_read_cycles
+            + c.msg_send_cycles
+            + c.wire_cycles(true, 64)
+            + c.msg_dispatch_cycles
+            + c.reply_receive_cycles;
+        let us = c.cycles_to_us(total);
+        assert!((9.0..=13.0).contains(&us), "intra-node 64B fetch = {us:.1} µs, want ~11");
+    }
+
+    #[test]
+    fn mc_one_way_is_4us() {
+        let c = CostModel::alpha_4100();
+        assert_eq!(c.us_to_cycles(4.0), c.mc_oneway_cycles);
+    }
+
+    #[test]
+    fn large_block_bandwidth_in_range() {
+        // 2 KB block over the Memory Channel: the paper reports ~35 MB/s
+        // effective for large blocks (60 MB/s raw link).
+        let c = CostModel::alpha_4100();
+        let cycles = c.wire_cycles(false, 2_048) + c.handler_read_cycles + c.reply_receive_cycles;
+        let us = c.cycles_to_us(cycles);
+        let mb_per_s = 2_048.0 / us; // bytes/µs == MB/s
+        assert!((30.0..=60.0).contains(&mb_per_s), "bandwidth = {mb_per_s:.0} MB/s");
+    }
+
+    #[test]
+    fn unit_conversions_roundtrip() {
+        let c = CostModel::alpha_4100();
+        assert_eq!(c.us_to_cycles(1.0), 300);
+        assert!((c.cycles_to_us(c.us_to_cycles(12.5)) - 12.5).abs() < 1e-9);
+    }
+}

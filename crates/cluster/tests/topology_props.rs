@@ -1,0 +1,86 @@
+//! Property tests of topology arithmetic: placements partition the
+//! processors, virtual nodes never span physical nodes, and the paper
+//! placement follows §4.3's rules.
+
+use proptest::prelude::*;
+use shasta_cluster::{NodeId, Topology};
+
+proptest! {
+    /// For every valid (procs, per_node, clustering) combination: physical
+    /// and virtual groupings partition the processor set, virtual nodes
+    /// nest inside physical nodes, and the iterators agree with the maps.
+    #[test]
+    fn groupings_partition_and_nest(
+        per_node_exp in 0u32..4,
+        nodes in 1u32..9,
+        clus_exp in 0u32..4,
+    ) {
+        let per_node = 1u32 << per_node_exp;
+        let clustering = 1u32 << clus_exp.min(per_node_exp);
+        let procs = per_node * nodes;
+        prop_assume!(procs <= 64);
+        let t = Topology::new(procs, per_node, clustering).unwrap();
+        prop_assert_eq!(t.phys_nodes() * t.procs_per_node(), procs);
+        prop_assert_eq!(t.virt_nodes() * t.clustering(), procs);
+
+        // Partition via iterators.
+        let mut seen_phys = vec![false; procs as usize];
+        for n in 0..t.phys_nodes() {
+            for p in t.phys_node_procs(NodeId(n)) {
+                prop_assert!(!seen_phys[p.0 as usize], "processor in two physical nodes");
+                seen_phys[p.0 as usize] = true;
+                prop_assert_eq!(t.phys_node_of(p.0), NodeId(n));
+            }
+        }
+        prop_assert!(seen_phys.iter().all(|&b| b));
+
+        let mut seen_virt = vec![false; procs as usize];
+        for n in 0..t.virt_nodes() {
+            let mut phys_of_vnode = None;
+            for p in t.virt_node_procs(NodeId(n)) {
+                prop_assert!(!seen_virt[p.0 as usize]);
+                seen_virt[p.0 as usize] = true;
+                prop_assert_eq!(t.virt_node_of(p.0), NodeId(n));
+                // Nesting: one physical node per virtual node.
+                let ph = t.phys_node_of(p.0);
+                if let Some(prev) = phys_of_vnode {
+                    prop_assert_eq!(ph, prev, "virtual node spans physical nodes");
+                }
+                phys_of_vnode = Some(ph);
+            }
+        }
+        prop_assert!(seen_virt.iter().all(|&b| b));
+
+        // Same-ness relations are consistent with the maps.
+        for a in 0..procs {
+            for b in 0..procs {
+                prop_assert_eq!(
+                    t.same_phys_node(a, b),
+                    t.phys_node_of(a) == t.phys_node_of(b)
+                );
+                prop_assert_eq!(
+                    t.same_virtual_node(a, b),
+                    t.virt_node_of(a) == t.virt_node_of(b)
+                );
+                // Sharing memory implies sharing the machine.
+                if t.same_virtual_node(a, b) {
+                    prop_assert!(t.same_phys_node(a, b));
+                }
+            }
+        }
+    }
+
+    /// The paper placement puts ≤4-processor runs on one node and larger
+    /// runs four to a node.
+    #[test]
+    fn paper_placement_rules(procs_exp in 0u32..7, clus_exp in 0u32..3) {
+        let procs = 1u32 << procs_exp;
+        let clustering = (1u32 << clus_exp).min(procs.min(4));
+        let t = Topology::paper_placement(procs, clustering).unwrap();
+        if procs <= 4 {
+            prop_assert_eq!(t.phys_nodes(), 1);
+        } else {
+            prop_assert_eq!(t.procs_per_node(), 4);
+        }
+    }
+}

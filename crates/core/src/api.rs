@@ -1,0 +1,367 @@
+//! The application-facing DSM interface.
+//!
+//! Application code runs inside simulator fibers and talks to the protocol
+//! engine through a [`Dsm`] handle: typed loads and stores (each of which
+//! pays its inline-check cost and may enter the protocol), batched range
+//! accesses (the paper's batching optimization), application locks and
+//! barriers, and `compute` to account for the work between accesses.
+//!
+//! Pure compute is accumulated locally and piggybacked on the next
+//! operation, so it costs no engine rendezvous.
+
+use shasta_sim::FiberApi;
+
+use crate::space::Addr;
+
+/// A request from application code to the protocol engine.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Req {
+    /// Scalar load of `size` ∈ {4, 8} bytes. `fp` selects the FP-load check.
+    Load {
+        /// Target address.
+        addr: Addr,
+        /// Access size in bytes.
+        size: u8,
+        /// Whether this is a floating-point load (check cost differs).
+        fp: bool,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Scalar store of `size` ∈ {4, 8} bytes.
+    Store {
+        /// Target address.
+        addr: Addr,
+        /// Access size in bytes.
+        size: u8,
+        /// Little-endian value to store.
+        value: u64,
+        /// Whether this is a floating-point store.
+        fp: bool,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Batched read of `[addr, addr + len)` (one batch check, then
+    /// unchecked accesses).
+    ReadRange {
+        /// Start address.
+        addr: Addr,
+        /// Length in bytes.
+        len: u64,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Batched write of `data` at `addr`.
+    WriteRange {
+        /// Start address.
+        addr: Addr,
+        /// Bytes to write.
+        data: Vec<u8>,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Acquire an application lock (stalls until granted).
+    Acquire {
+        /// Lock identifier.
+        lock: u32,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Release an application lock (performs release semantics first).
+    Release {
+        /// Lock identifier.
+        lock: u32,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Store fence: release semantics without a lock (waits for this
+    /// node's previous-epoch stores to complete).
+    Fence {
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Global barrier (performs release semantics first).
+    Barrier {
+        /// Barrier identifier.
+        id: u32,
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+    /// Explicit poll point (a loop back-edge with no shared access).
+    Poll {
+        /// Compute cycles since the previous operation.
+        pre_cycles: u64,
+    },
+}
+
+impl Req {
+    /// The compute cycles carried by this request.
+    pub fn pre_cycles(&self) -> u64 {
+        match *self {
+            Req::Load { pre_cycles, .. }
+            | Req::Store { pre_cycles, .. }
+            | Req::ReadRange { pre_cycles, .. }
+            | Req::WriteRange { pre_cycles, .. }
+            | Req::Acquire { pre_cycles, .. }
+            | Req::Release { pre_cycles, .. }
+            | Req::Fence { pre_cycles }
+            | Req::Barrier { pre_cycles, .. }
+            | Req::Poll { pre_cycles } => pre_cycles,
+        }
+    }
+}
+
+/// A reply from the protocol engine to application code.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Resp {
+    /// Loaded scalar (little-endian, zero-extended).
+    Value(u64),
+    /// Bytes from a `ReadRange`.
+    Data(Vec<u8>),
+    /// Completion of a store, write, sync, or poll.
+    Unit,
+}
+
+/// The DSM handle held by each simulated processor's application code.
+///
+/// All methods may suspend the calling fiber while the protocol services a
+/// miss; from the application's perspective they are simple blocking
+/// operations on a shared address space.
+#[derive(Debug)]
+pub struct Dsm {
+    api: FiberApi<Req, Resp>,
+    proc_id: u32,
+    pending_cycles: u64,
+}
+
+impl Dsm {
+    /// Wraps a fiber API endpoint. Used by the engine when spawning fibers.
+    pub fn new(proc_id: u32, api: FiberApi<Req, Resp>) -> Self {
+        Dsm { api, proc_id, pending_cycles: 0 }
+    }
+
+    /// This processor's id (0-based, dense).
+    pub fn proc_id(&self) -> u32 {
+        self.proc_id
+    }
+
+    /// Accounts `cycles` of application compute since the last operation.
+    pub fn compute(&mut self, cycles: u64) {
+        self.pending_cycles += cycles;
+    }
+
+    fn take_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_cycles)
+    }
+
+    fn expect_value(&mut self, req: Req) -> u64 {
+        match self.api.call(req) {
+            Resp::Value(v) => v,
+            other => panic!("engine returned {other:?} where a value was expected"),
+        }
+    }
+
+    fn expect_unit(&mut self, req: Req) {
+        match self.api.call(req) {
+            Resp::Unit => {}
+            other => panic!("engine returned {other:?} where unit was expected"),
+        }
+    }
+
+    /// Loads a `u32` from shared memory.
+    pub fn load_u32(&mut self, addr: Addr) -> u32 {
+        let pre_cycles = self.take_cycles();
+        self.expect_value(Req::Load { addr, size: 4, fp: false, pre_cycles }) as u32
+    }
+
+    /// Loads a `u64` from shared memory.
+    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+        let pre_cycles = self.take_cycles();
+        self.expect_value(Req::Load { addr, size: 8, fp: false, pre_cycles })
+    }
+
+    /// Loads an `f64` from shared memory (floating-point check cost).
+    pub fn load_f64(&mut self, addr: Addr) -> f64 {
+        let pre_cycles = self.take_cycles();
+        f64::from_bits(self.expect_value(Req::Load { addr, size: 8, fp: true, pre_cycles }))
+    }
+
+    /// Stores a `u32` to shared memory.
+    pub fn store_u32(&mut self, addr: Addr, value: u32) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Store { addr, size: 4, value: value as u64, fp: false, pre_cycles });
+    }
+
+    /// Stores a `u64` to shared memory.
+    pub fn store_u64(&mut self, addr: Addr, value: u64) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Store { addr, size: 8, value, fp: false, pre_cycles });
+    }
+
+    /// Stores an `f64` to shared memory.
+    pub fn store_f64(&mut self, addr: Addr, value: f64) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Store { addr, size: 8, value: value.to_bits(), fp: true, pre_cycles });
+    }
+
+    /// Batched read of `len` bytes at `addr` (a Shasta batch: one check
+    /// sequence covering the range, then unchecked accesses).
+    pub fn read_range(&mut self, addr: Addr, len: u64) -> Vec<u8> {
+        let pre_cycles = self.take_cycles();
+        match self.api.call(Req::ReadRange { addr, len, pre_cycles }) {
+            Resp::Data(d) => d,
+            other => panic!("engine returned {other:?} where data was expected"),
+        }
+    }
+
+    /// Batched read of `n` consecutive `f64`s at `addr`.
+    pub fn read_f64s(&mut self, addr: Addr, n: usize) -> Vec<f64> {
+        let bytes = self.read_range(addr, (n * 8) as u64);
+        bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// Batched write of `data` at `addr`.
+    pub fn write_range(&mut self, addr: Addr, data: &[u8]) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::WriteRange { addr, data: data.to_vec(), pre_cycles });
+    }
+
+    /// Batched write of consecutive `f64`s at `addr`.
+    pub fn write_f64s(&mut self, addr: Addr, values: &[f64]) {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_range(addr, &bytes);
+    }
+
+    /// Acquires application lock `lock`.
+    pub fn acquire(&mut self, lock: u32) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Acquire { lock, pre_cycles });
+    }
+
+    /// Releases application lock `lock` (release consistency: waits for this
+    /// node's outstanding stores from previous epochs first).
+    pub fn release(&mut self, lock: u32) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Release { lock, pre_cycles });
+    }
+
+    /// Store fence: waits until all of this node's outstanding stores from
+    /// previous epochs have completed (release semantics without a lock).
+    pub fn fence(&mut self) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Fence { pre_cycles });
+    }
+
+    /// Waits at global barrier `id` until every processor arrives.
+    pub fn barrier(&mut self, id: u32) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Barrier { id, pre_cycles });
+    }
+
+    /// An explicit poll point: handles any pending incoming messages (a
+    /// loop back-edge in the instrumented binary).
+    pub fn poll(&mut self) {
+        let pre_cycles = self.take_cycles();
+        self.expect_unit(Req::Poll { pre_cycles });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shasta_sim::FiberPool;
+
+    /// A miniature engine that serves every request against a byte array,
+    /// proving out the Dsm <-> Req/Resp plumbing without the real protocol.
+    fn echo_engine(pool: &mut FiberPool<Req, Resp>, mem: &mut [u8]) {
+        loop {
+            let mut progressed = false;
+            for p in 0..pool.len() as u32 {
+                if let Some(req) = pool.take_request(p) {
+                    progressed = true;
+                    let resp = match req {
+                        Req::Load { addr, size, .. } => {
+                            let mut buf = [0u8; 8];
+                            let a = addr as usize;
+                            buf[..size as usize].copy_from_slice(&mem[a..a + size as usize]);
+                            Resp::Value(u64::from_le_bytes(buf))
+                        }
+                        Req::Store { addr, size, value, .. } => {
+                            let a = addr as usize;
+                            mem[a..a + size as usize]
+                                .copy_from_slice(&value.to_le_bytes()[..size as usize]);
+                            Resp::Unit
+                        }
+                        Req::ReadRange { addr, len, .. } => {
+                            Resp::Data(mem[addr as usize..(addr + len) as usize].to_vec())
+                        }
+                        Req::WriteRange { addr, ref data, .. } => {
+                            mem[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+                            Resp::Unit
+                        }
+                        _ => Resp::Unit,
+                    };
+                    pool.resume(p, resp);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let mut pool = FiberPool::spawn(1, |pid, api| {
+            let mut dsm = Dsm::new(pid, api);
+            dsm.store_u32(0, 0xAABBCCDD);
+            assert_eq!(dsm.load_u32(0), 0xAABBCCDD);
+            dsm.store_f64(8, 3.25);
+            assert_eq!(dsm.load_f64(8), 3.25);
+            dsm.write_f64s(16, &[1.0, 2.0]);
+            assert_eq!(dsm.read_f64s(16, 2), vec![1.0, 2.0]);
+            dsm.write_range(32, &[1, 2, 3]);
+            assert_eq!(dsm.read_range(32, 3), vec![1, 2, 3]);
+        });
+        let mut mem = vec![0u8; 64];
+        echo_engine(&mut pool, &mut mem);
+        pool.join();
+    }
+
+    #[test]
+    fn compute_piggybacks_on_next_request() {
+        let mut pool = FiberPool::spawn(1, |pid, api| {
+            let mut dsm = Dsm::new(pid, api);
+            dsm.compute(100);
+            dsm.compute(23);
+            dsm.store_u32(0, 1); // carries 123 pre-cycles
+            dsm.store_u32(0, 2); // carries 0
+        });
+        let first = pool.take_request(0).unwrap();
+        assert_eq!(first.pre_cycles(), 123);
+        pool.resume(0, Resp::Unit);
+        let second = pool.take_request(0).unwrap();
+        assert_eq!(second.pre_cycles(), 0);
+        pool.resume(0, Resp::Unit);
+        pool.join();
+    }
+
+    #[test]
+    fn proc_id_is_exposed() {
+        let mut pool = FiberPool::spawn(2, |pid, api| {
+            let mut dsm = Dsm::new(pid, api);
+            assert_eq!(dsm.proc_id(), pid);
+            dsm.poll();
+        });
+        for p in 0..2 {
+            pool.take_request(p).unwrap();
+            pool.resume(p, Resp::Unit);
+        }
+        pool.join();
+    }
+}

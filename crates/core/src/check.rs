@@ -1,0 +1,237 @@
+//! The inline miss-check model: what the binary rewriter would have
+//! inserted, as costs plus functional semantics.
+//!
+//! Shasta inserts checking code before loads and stores of possibly-shared
+//! data (§2.2) and applies two key optimizations (§2.3):
+//!
+//! * **invalid flag**: load checks compare the loaded value against
+//!   [`crate::state::INVALID_FLAG`] instead of consulting the state table,
+//!   making the check-and-load a single atomic event;
+//! * **batching**: runs of accesses through common base registers check at
+//!   most two lines per base register once, then run unchecked.
+//!
+//! SMP-Shasta changes the checks (§3.4.1): floating-point flag loads need a
+//! stack store + integer reload to stay atomic (several extra cycles), and
+//! batch checks must always consult the private state table rather than the
+//! flag, because the batched loads are not atomic with the batch check.
+//! Those two changes are why Table 1's SMP overheads exceed the Base ones
+//! (24.0% vs 14.7% on average).
+
+use serde::{Deserialize, Serialize};
+
+/// Which instrumentation flavour is in effect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum CheckFlavor {
+    /// Base-Shasta checks (§2.2–2.3).
+    #[default]
+    Base,
+    /// SMP-Shasta checks (§3.4.1): atomic FP flag loads, private-state-table
+    /// batch checks.
+    Smp,
+}
+
+/// Kind of access being checked, for cost selection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// Integer load (flag technique).
+    IntLoad,
+    /// Floating-point load (flag technique; dearer under SMP-Shasta).
+    FpLoad,
+    /// Store (state-table check).
+    Store,
+}
+
+/// Inline-check cost model (cycles per check on the dual-issue 21164).
+///
+/// # Example
+///
+/// ```
+/// use shasta_core::check::{AccessKind, CheckFlavor, CheckModel};
+///
+/// let base = CheckModel::enabled(CheckFlavor::Base);
+/// let smp = CheckModel::enabled(CheckFlavor::Smp);
+/// // The SMP FP-load check does a stack store + integer reload.
+/// assert!(smp.check_cycles(AccessKind::FpLoad) > base.check_cycles(AccessKind::FpLoad));
+/// // Batch checks get dearer too (state table instead of flag).
+/// assert!(smp.batch_cycles(4, true) > base.batch_cycles(4, true));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CheckModel {
+    /// Whether instrumentation is present at all (`false` reproduces the
+    /// original uninstrumented sequential binary).
+    pub enabled: bool,
+    /// Base or SMP check code.
+    pub flavor: CheckFlavor,
+    /// Integer load check via the invalid flag (compare + branch).
+    pub int_load_cycles: u64,
+    /// FP load check, Base flavour (extra integer load of the target).
+    pub fp_load_base_cycles: u64,
+    /// FP load check, SMP flavour (stack store + integer reload, §3.4.1).
+    pub fp_load_smp_cycles: u64,
+    /// Store check via the state table (Figure 1's seven instructions).
+    pub store_cycles: u64,
+    /// Per-line batch check using the invalid flag (Base, load-only ranges).
+    pub batch_line_flag_cycles: u64,
+    /// Per-line batch check using the state table (SMP always; Base when the
+    /// range contains stores).
+    pub batch_line_table_cycles: u64,
+    /// Fixed per-batch overhead (range computation).
+    pub batch_entry_cycles: u64,
+    /// Polling a message-arrival word at a loop back-edge (three
+    /// instructions on Memory Channel, §2.1).
+    pub poll_cycles: u64,
+    /// Slow-path cost of a false miss (range check + state table lookup +
+    /// return, §2.3).
+    pub false_miss_cycles: u64,
+    /// Check cycles charged per 1000 cycles of application compute — the
+    /// surrogate for inline checks on the scalar loads/stores *inside*
+    /// compute loops, which the kernels model as bulk `compute()` rather
+    /// than as individual simulated accesses. Calibrated so Table 1's
+    /// average overheads (14.7% Base, 24.0% SMP) come out.
+    pub per_compute_permille: u64,
+}
+
+impl CheckModel {
+    /// Instrumentation disabled: every cost is zero (the sequential
+    /// baseline that Table 1 and all speedups are measured against).
+    pub fn disabled() -> Self {
+        CheckModel {
+            enabled: false,
+            flavor: CheckFlavor::Base,
+            int_load_cycles: 0,
+            fp_load_base_cycles: 0,
+            fp_load_smp_cycles: 0,
+            store_cycles: 0,
+            batch_line_flag_cycles: 0,
+            batch_line_table_cycles: 0,
+            batch_entry_cycles: 0,
+            poll_cycles: 0,
+            false_miss_cycles: 0,
+            per_compute_permille: 0,
+        }
+    }
+
+    /// Default calibrated costs for the given flavour.
+    pub fn enabled(flavor: CheckFlavor) -> Self {
+        CheckModel {
+            enabled: true,
+            flavor,
+            int_load_cycles: 2,
+            fp_load_base_cycles: 3,
+            fp_load_smp_cycles: 9,
+            store_cycles: 5,
+            batch_line_flag_cycles: 2,
+            batch_line_table_cycles: 4,
+            batch_entry_cycles: 3,
+            poll_cycles: 2,
+            false_miss_cycles: 120,
+            per_compute_permille: match flavor {
+                CheckFlavor::Base => 125,
+                CheckFlavor::Smp => 205,
+            },
+        }
+    }
+
+    /// Check-surrogate cycles for `compute_cycles` of application compute.
+    pub fn compute_check_cycles(&self, compute_cycles: u64) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        compute_cycles * self.per_compute_permille / 1000
+    }
+
+    /// Cost of one scalar access check.
+    pub fn check_cycles(&self, kind: AccessKind) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        match (kind, self.flavor) {
+            (AccessKind::IntLoad, _) => self.int_load_cycles,
+            (AccessKind::FpLoad, CheckFlavor::Base) => self.fp_load_base_cycles,
+            (AccessKind::FpLoad, CheckFlavor::Smp) => self.fp_load_smp_cycles,
+            (AccessKind::Store, _) => self.store_cycles,
+        }
+    }
+
+    /// Cost of a batch check covering `lines` lines; `loads_only` selects
+    /// the flag technique where the flavour permits it.
+    pub fn batch_cycles(&self, lines: u64, loads_only: bool) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        let per_line = match (self.flavor, loads_only) {
+            // Base-Shasta may use the invalid flag for load-only batches.
+            (CheckFlavor::Base, true) => self.batch_line_flag_cycles,
+            // SMP-Shasta must always consult the private state table
+            // (§3.4.1), as must Base for ranges containing stores.
+            _ => self.batch_line_table_cycles,
+        };
+        self.batch_entry_cycles + per_line * lines
+    }
+
+    /// Whether scalar load checks use the invalid-flag technique (and can
+    /// therefore suffer false misses and skip private-state upgrades).
+    pub fn flag_loads(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for CheckModel {
+    fn default() -> Self {
+        CheckModel::enabled(CheckFlavor::Base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_costs_are_zero() {
+        let m = CheckModel::disabled();
+        assert_eq!(m.check_cycles(AccessKind::IntLoad), 0);
+        assert_eq!(m.check_cycles(AccessKind::FpLoad), 0);
+        assert_eq!(m.check_cycles(AccessKind::Store), 0);
+        assert_eq!(m.batch_cycles(10, false), 0);
+        assert!(!m.flag_loads());
+    }
+
+    #[test]
+    fn smp_fp_loads_cost_more() {
+        let base = CheckModel::enabled(CheckFlavor::Base);
+        let smp = CheckModel::enabled(CheckFlavor::Smp);
+        assert!(smp.check_cycles(AccessKind::FpLoad) >= 2 * base.check_cycles(AccessKind::FpLoad));
+        assert_eq!(
+            base.check_cycles(AccessKind::IntLoad),
+            smp.check_cycles(AccessKind::IntLoad),
+            "integer flag loads unchanged by the SMP flavour"
+        );
+        assert_eq!(base.check_cycles(AccessKind::Store), smp.check_cycles(AccessKind::Store));
+    }
+
+    #[test]
+    fn batch_flag_only_for_base_load_only() {
+        let base = CheckModel::enabled(CheckFlavor::Base);
+        let smp = CheckModel::enabled(CheckFlavor::Smp);
+        assert!(base.batch_cycles(8, true) < base.batch_cycles(8, false));
+        assert_eq!(smp.batch_cycles(8, true), smp.batch_cycles(8, false));
+        assert_eq!(base.batch_cycles(8, false), smp.batch_cycles(8, false));
+    }
+
+    #[test]
+    fn compute_surrogate_scales_and_respects_flavor() {
+        let base = CheckModel::enabled(CheckFlavor::Base);
+        let smp = CheckModel::enabled(CheckFlavor::Smp);
+        assert_eq!(base.compute_check_cycles(0), 0);
+        assert!(smp.compute_check_cycles(10_000) > base.compute_check_cycles(10_000));
+        assert_eq!(CheckModel::disabled().compute_check_cycles(10_000), 0);
+    }
+
+    #[test]
+    fn batch_scales_with_lines() {
+        let m = CheckModel::enabled(CheckFlavor::Base);
+        let one = m.batch_cycles(1, true);
+        let five = m.batch_cycles(5, true);
+        assert_eq!(five - one, 4 * m.batch_line_flag_cycles);
+    }
+}

@@ -1,0 +1,207 @@
+//! The per-home directory: owner pointer, sharer bit-vector, and transient
+//! transaction queuing.
+//!
+//! Coherence is maintained with a directory-based invalidation protocol
+//! (§2.1). Each home processor keeps, per block: (i) a pointer to the
+//! current **owner** (the last processor that held an exclusive copy) and
+//! (ii) a full **bit vector of sharers**. While a forwarded transaction is
+//! in flight (home → owner → requester, closed by a directory update from
+//! the owner) the entry is **busy** and later requests queue behind it, so
+//! protocol requests for a block serialize at the home.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::misstable::ReqKind;
+use crate::space::Addr;
+
+/// A request deferred while the directory entry was busy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueuedReq {
+    /// Requesting processor.
+    pub requester: u32,
+    /// Request type.
+    pub kind: ReqKind,
+}
+
+/// Directory state for one block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirEntry {
+    /// The last processor to hold the block exclusively. Always holds a
+    /// valid copy: when `exclusive` it has the only copy, otherwise it is a
+    /// member of `sharers`.
+    pub owner: u32,
+    /// Bit vector of processors holding copies (bit *p* = processor *p*).
+    /// Under SMP-Shasta the home is only aware of the one processor per
+    /// node that requested the data (§3.4.2).
+    pub sharers: u64,
+    /// Whether the owner holds the only (writable) copy.
+    pub exclusive: bool,
+    /// A forwarded transaction is in flight; requests must queue.
+    pub busy: bool,
+    /// Requests deferred while busy, FIFO.
+    pub queue: VecDeque<QueuedReq>,
+}
+
+impl DirEntry {
+    /// Creates the initial entry: `creator` holds the only, exclusive copy
+    /// (data is initialized at its home before the parallel phase).
+    pub fn new_exclusive(creator: u32) -> Self {
+        DirEntry {
+            owner: creator,
+            sharers: 1 << creator,
+            exclusive: true,
+            busy: false,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Whether processor `p` is recorded as a sharer.
+    pub fn is_sharer(&self, p: u32) -> bool {
+        self.sharers & (1 << p) != 0
+    }
+
+    /// Adds processor `p` to the sharer set.
+    pub fn add_sharer(&mut self, p: u32) {
+        self.sharers |= 1 << p;
+    }
+
+    /// Removes processor `p` from the sharer set.
+    pub fn remove_sharer(&mut self, p: u32) {
+        self.sharers &= !(1 << p);
+    }
+
+    /// Iterator over current sharers.
+    pub fn sharer_list(&self) -> impl Iterator<Item = u32> + use<> {
+        let bits = self.sharers;
+        (0..64).filter(move |p| bits & (1 << p) != 0)
+    }
+
+    /// Number of sharers.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// Transitions to "exclusive at `p`": `p` becomes owner and sole sharer.
+    pub fn grant_exclusive(&mut self, p: u32) {
+        self.owner = p;
+        self.exclusive = true;
+        self.sharers = 1 << p;
+    }
+}
+
+/// All directory entries homed at one processor, keyed by block start.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: HashMap<Addr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Registers a block at initialization time, homed here, exclusively
+    /// owned by `creator`.
+    pub fn register(&mut self, block_start: Addr, creator: u32) {
+        self.entries.insert(block_start, DirEntry::new_exclusive(creator));
+    }
+
+    /// The entry for `block_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was never registered at this home — a protocol
+    /// routing bug.
+    pub fn entry(&mut self, block_start: Addr) -> &mut DirEntry {
+        self.entries
+            .get_mut(&block_start)
+            .unwrap_or_else(|| panic!("no directory entry for block {block_start:#x} at this home"))
+    }
+
+    /// Read-only entry lookup (for audits).
+    pub fn peek(&self, block_start: Addr) -> Option<&DirEntry> {
+        self.entries.get(&block_start)
+    }
+
+    /// Iterator over `(block_start, entry)` pairs (for audits).
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &DirEntry)> {
+        self.entries.iter().map(|(&a, e)| (a, e))
+    }
+
+    /// Number of registered blocks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_entry_is_exclusive_at_creator() {
+        let e = DirEntry::new_exclusive(3);
+        assert_eq!(e.owner, 3);
+        assert!(e.exclusive);
+        assert!(e.is_sharer(3));
+        assert_eq!(e.sharer_count(), 1);
+        assert!(!e.busy);
+    }
+
+    #[test]
+    fn sharer_set_operations() {
+        let mut e = DirEntry::new_exclusive(0);
+        e.exclusive = false;
+        e.add_sharer(5);
+        e.add_sharer(63);
+        assert!(e.is_sharer(5));
+        assert!(e.is_sharer(63));
+        assert_eq!(e.sharer_list().collect::<Vec<_>>(), vec![0, 5, 63]);
+        e.remove_sharer(0);
+        assert!(!e.is_sharer(0));
+        assert_eq!(e.sharer_count(), 2);
+    }
+
+    #[test]
+    fn grant_exclusive_resets_sharers() {
+        let mut e = DirEntry::new_exclusive(0);
+        e.exclusive = false;
+        e.add_sharer(1);
+        e.add_sharer(2);
+        e.grant_exclusive(2);
+        assert!(e.exclusive);
+        assert_eq!(e.owner, 2);
+        assert_eq!(e.sharer_list().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut e = DirEntry::new_exclusive(0);
+        e.queue.push_back(QueuedReq { requester: 1, kind: ReqKind::Read });
+        e.queue.push_back(QueuedReq { requester: 2, kind: ReqKind::Write });
+        assert_eq!(e.queue.pop_front().unwrap().requester, 1);
+        assert_eq!(e.queue.pop_front().unwrap().requester, 2);
+    }
+
+    #[test]
+    fn directory_register_and_lookup() {
+        let mut d = Directory::new();
+        d.register(0x4000, 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.entry(0x4000).owner, 1);
+        assert!(d.peek(0x5000).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no directory entry")]
+    fn unregistered_block_panics() {
+        let mut d = Directory::new();
+        d.entry(0x4000);
+    }
+}

@@ -1,0 +1,335 @@
+//! The miss table: outstanding-request entries with non-blocking-store
+//! merging and epoch bookkeeping.
+//!
+//! Shasta emulates a processor with non-blocking stores and a lockup-free
+//! cache (§2.1): a store miss issues its request, records the store in a
+//! **miss entry**, and continues; the reply is merged with the newly written
+//! data. Under SMP-Shasta the miss table is shared by the node's processors
+//! so that requests for the same block merge (§3.4.2), and an **epoch**
+//! scheme (borrowed from SoftFLASH) makes eager release consistency safe
+//! when several processors on a node share data returned before all
+//! invalidation acknowledgements have arrived.
+//!
+//! Unlike the real implementation — where merged store *values* already live
+//! in node memory and the reply merge just skips those ranges — the
+//! simulator records the store bytes in the entry, because an intervening
+//! invalidation writes flag values over node memory; re-applying recorded
+//! stores after the reply fill reproduces the real memory image.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::space::{Addr, Block};
+
+/// A forwarded request that reached a node whose ownership-granting reply
+/// had not yet arrived (the forward raced ahead of the data reply from a
+/// third party); it is serviced right after the reply is processed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueuedFwd {
+    /// Original requester awaiting data.
+    pub requester: u32,
+    /// Whether the forward wants exclusive ownership (fwd-write).
+    pub exclusive: bool,
+    /// Invalidation acks the requester should expect (fwd-write only).
+    pub acks_expected: u32,
+}
+
+/// Outstanding request type of a miss entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// Read request (expects data, grants `Shared`).
+    Read,
+    /// Read-exclusive request (expects data, grants `Exclusive`).
+    Write,
+    /// Exclusive/upgrade request (no data needed, grants `Exclusive`).
+    Upgrade,
+}
+
+/// A store merged into a pending entry: address and the bytes written.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StoreRecord {
+    /// Target address of the store.
+    pub addr: Addr,
+    /// The stored bytes.
+    pub data: Vec<u8>,
+}
+
+/// One outstanding request for a block.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MissEntry {
+    /// The block being fetched/upgraded.
+    pub block: Block,
+    /// Current request type.
+    pub kind: ReqKind,
+    /// Processor whose message is outstanding (the home serializes per-node
+    /// requests through this one processor, §3.4.2).
+    pub requester: u32,
+    /// Stores merged into the entry, re-applied over the reply data.
+    pub stores: Vec<StoreRecord>,
+    /// A store arrived while a read was pending: after the read reply, the
+    /// entry re-issues as an upgrade.
+    pub wants_exclusive: bool,
+    /// Invalidation acks still expected (set by the data/upgrade reply).
+    pub acks_expected: u32,
+    /// Acks received before the reply told us how many to expect.
+    pub early_acks: u32,
+    /// Whether the data/upgrade reply has been processed.
+    pub replied: bool,
+    /// Node epoch in which the entry became a store operation (`u64::MAX`
+    /// while it is a pure read).
+    pub store_epoch: u64,
+    /// Forwards that raced ahead of this entry's reply.
+    pub queued_fwds: Vec<QueuedFwd>,
+}
+
+impl MissEntry {
+    /// Creates an entry for a fresh request.
+    pub fn new(block: Block, kind: ReqKind, requester: u32, epoch: u64) -> Self {
+        MissEntry {
+            block,
+            kind,
+            requester,
+            stores: Vec::new(),
+            wants_exclusive: false,
+            acks_expected: 0,
+            early_acks: 0,
+            replied: false,
+            store_epoch: if matches!(kind, ReqKind::Read) { u64::MAX } else { epoch },
+            queued_fwds: Vec::new(),
+        }
+    }
+
+    /// Whether this entry represents an outstanding store operation.
+    pub fn is_store_op(&self) -> bool {
+        self.store_epoch != u64::MAX
+    }
+
+    /// Whether the entry is fully complete (reply processed and all acks in).
+    pub fn complete(&self) -> bool {
+        self.replied && self.early_acks >= self.acks_expected
+    }
+
+    /// Records a store into the entry.
+    pub fn merge_store(&mut self, addr: Addr, data: Vec<u8>) {
+        self.stores.push(StoreRecord { addr, data });
+    }
+
+    /// Re-applies merged stores over freshly filled block data. `buf` holds
+    /// the block contents starting at `self.block.start`.
+    pub fn apply_stores(&self, buf: &mut [u8]) {
+        for s in &self.stores {
+            let off = (s.addr - self.block.start) as usize;
+            buf[off..off + s.data.len()].copy_from_slice(&s.data);
+        }
+    }
+}
+
+/// Per-node outstanding-store accounting for eager release consistency.
+///
+/// A release opens a new epoch; the releasing processor stalls until every
+/// store operation issued on the node in *earlier* epochs has completed
+/// (data reply processed and all invalidation acks received).
+#[derive(Clone, Debug, Default)]
+pub struct EpochTracker {
+    current: u64,
+    outstanding: BTreeMap<u64, u32>,
+}
+
+impl EpochTracker {
+    /// The current epoch number.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Registers a store operation issued in the current epoch, returning
+    /// that epoch for the miss entry.
+    pub fn issue_store(&mut self) -> u64 {
+        *self.outstanding.entry(self.current).or_insert(0) += 1;
+        self.current
+    }
+
+    /// Marks a store operation from `epoch` complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no store from that epoch is outstanding.
+    pub fn complete_store(&mut self, epoch: u64) {
+        let n = self.outstanding.get_mut(&epoch).expect("completing unknown store epoch");
+        *n -= 1;
+        if *n == 0 {
+            self.outstanding.remove(&epoch);
+        }
+    }
+
+    /// Opens a new epoch (called when a release begins) and returns it.
+    pub fn open_epoch(&mut self) -> u64 {
+        self.current += 1;
+        self.current
+    }
+
+    /// Whether all stores issued in epochs strictly before `epoch` are
+    /// complete — the release-permission predicate.
+    pub fn quiesced_before(&self, epoch: u64) -> bool {
+        self.outstanding.range(..epoch).next().is_none()
+    }
+
+    /// Total outstanding store operations (diagnostics).
+    pub fn outstanding_total(&self) -> u32 {
+        self.outstanding.values().sum()
+    }
+}
+
+/// The per-node miss table: block start → entry.
+#[derive(Clone, Debug, Default)]
+pub struct MissTable {
+    entries: HashMap<Addr, MissEntry>,
+}
+
+impl MissTable {
+    /// Creates an empty miss table.
+    pub fn new() -> Self {
+        MissTable::default()
+    }
+
+    /// The entry for the block starting at `block_start`.
+    pub fn get(&self, block_start: Addr) -> Option<&MissEntry> {
+        self.entries.get(&block_start)
+    }
+
+    /// Mutable access to the entry for `block_start`.
+    pub fn get_mut(&mut self, block_start: Addr) -> Option<&mut MissEntry> {
+        self.entries.get_mut(&block_start)
+    }
+
+    /// Inserts a fresh entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry for the block already exists (requests for a block
+    /// must merge, never duplicate).
+    pub fn insert(&mut self, entry: MissEntry) {
+        let prev = self.entries.insert(entry.block.start, entry);
+        assert!(prev.is_none(), "duplicate miss entry for block");
+    }
+
+    /// Removes and returns the entry for `block_start`.
+    pub fn remove(&mut self, block_start: Addr) -> Option<MissEntry> {
+        self.entries.remove(&block_start)
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (run-end invariant).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over outstanding entries (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &MissEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> Block {
+        Block { start: 0x2000, len: 64 }
+    }
+
+    #[test]
+    fn read_entry_is_not_a_store_op() {
+        let e = MissEntry::new(block(), ReqKind::Read, 0, 5);
+        assert!(!e.is_store_op());
+        let e = MissEntry::new(block(), ReqKind::Write, 0, 5);
+        assert!(e.is_store_op());
+        assert_eq!(e.store_epoch, 5);
+    }
+
+    #[test]
+    fn completion_requires_reply_and_acks() {
+        let mut e = MissEntry::new(block(), ReqKind::Write, 0, 0);
+        assert!(!e.complete());
+        e.replied = true;
+        e.acks_expected = 2;
+        assert!(!e.complete());
+        e.early_acks = 2;
+        assert!(e.complete());
+    }
+
+    #[test]
+    fn acks_may_arrive_before_reply() {
+        let mut e = MissEntry::new(block(), ReqKind::Upgrade, 1, 0);
+        e.early_acks = 3; // acks raced ahead of the upgrade reply
+        e.replied = true;
+        e.acks_expected = 3;
+        assert!(e.complete());
+    }
+
+    #[test]
+    fn store_merge_and_apply() {
+        let mut e = MissEntry::new(block(), ReqKind::Write, 0, 0);
+        e.merge_store(0x2004, vec![0xAA, 0xBB]);
+        e.merge_store(0x2000, vec![0x11]);
+        let mut buf = vec![0u8; 64];
+        e.apply_stores(&mut buf);
+        assert_eq!(buf[0], 0x11);
+        assert_eq!(buf[4], 0xAA);
+        assert_eq!(buf[5], 0xBB);
+        assert_eq!(buf[6], 0);
+    }
+
+    #[test]
+    fn later_stores_win_overlaps() {
+        let mut e = MissEntry::new(block(), ReqKind::Write, 0, 0);
+        e.merge_store(0x2000, vec![1, 1]);
+        e.merge_store(0x2000, vec![2, 2]);
+        let mut buf = vec![0u8; 64];
+        e.apply_stores(&mut buf);
+        assert_eq!(&buf[..2], &[2, 2]);
+    }
+
+    #[test]
+    fn epoch_tracker_release_predicate() {
+        let mut t = EpochTracker::default();
+        let e0 = t.issue_store();
+        assert_eq!(e0, 0);
+        let newer = t.open_epoch();
+        assert_eq!(newer, 1);
+        assert!(!t.quiesced_before(newer), "epoch-0 store still outstanding");
+        t.complete_store(e0);
+        assert!(t.quiesced_before(newer));
+        // Stores in the new epoch do not block a release opening epoch 1.
+        let e1 = t.issue_store();
+        assert_eq!(e1, 1);
+        assert!(t.quiesced_before(1));
+        assert!(!t.quiesced_before(2));
+        t.complete_store(e1);
+        assert_eq!(t.outstanding_total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate miss entry")]
+    fn duplicate_entries_rejected() {
+        let mut t = MissTable::new();
+        t.insert(MissEntry::new(block(), ReqKind::Read, 0, 0));
+        t.insert(MissEntry::new(block(), ReqKind::Read, 1, 0));
+    }
+
+    #[test]
+    fn table_insert_remove() {
+        let mut t = MissTable::new();
+        t.insert(MissEntry::new(block(), ReqKind::Read, 0, 0));
+        assert_eq!(t.len(), 1);
+        assert!(t.get(0x2000).is_some());
+        assert!(t.get(0x2040).is_none());
+        let e = t.remove(0x2000).unwrap();
+        assert_eq!(e.requester, 0);
+        assert!(t.is_empty());
+    }
+}

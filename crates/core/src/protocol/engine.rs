@@ -1,0 +1,930 @@
+//! The run loop: conservative global-time scheduling of application fibers,
+//! message delivery, and operation execution.
+//!
+//! The engine always performs the action with the smallest
+//! `(simulated time, processor id)` over:
+//!
+//! * a ready processor's next operation (at its clock plus the operation's
+//!   carried compute),
+//! * a stalled processor whose stall condition is satisfied (resuming at its
+//!   wake floor — the time of the event that satisfied it),
+//! * delivery of the earliest arrived message to a stalled or finished
+//!   processor (running processors poll at operation boundaries instead,
+//!   which is exactly the paper's "poll at loop back-edges" rule: a message
+//!   is never handled between an inline check and its load or store).
+
+use shasta_sim::{FiberPool, Time};
+use shasta_stats::{MissKind, RunStats, TimeCat};
+
+use crate::api::{Dsm, Req, Resp};
+use crate::check::AccessKind;
+use crate::misstable::{MissEntry, ReqKind};
+use crate::protocol::config::Mode;
+use crate::protocol::machine::{AfterRelease, Machine, Stall, StallKind};
+use crate::protocol::msg::{DowngradeTo, ProtoMsg};
+use crate::space::{Addr, Block};
+use crate::state::{LineState, PrivState, INVALID_FLAG};
+
+/// What the scheduler decided to do next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Action {
+    /// Execute the processor's pending operation.
+    Op,
+    /// Resume a stalled processor whose condition is satisfied.
+    Resume,
+    /// Deliver the earliest message to a stalled/finished processor.
+    Msg,
+}
+
+impl Machine {
+    /// Runs one application body per processor to completion and returns the
+    /// collected statistics. May be called once per machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol deadlock (with diagnostics), on an application
+    /// panic inside a fiber, or if `bodies.len()` differs from the
+    /// processor count.
+    pub fn run(&mut self, bodies: Vec<Box<dyn FnOnce(Dsm) + Send>>) -> RunStats {
+        let n = self.topo.procs();
+        assert_eq!(bodies.len() as u32, n, "need exactly one program per processor");
+        let wrapped: Vec<shasta_sim::FiberBody<Req, Resp>> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(p, body)| {
+                Box::new(move |api: shasta_sim::FiberApi<Req, Resp>| body(Dsm::new(p as u32, api)))
+                    as shasta_sim::FiberBody<Req, Resp>
+            })
+            .collect();
+        let mut pool = FiberPool::spawn_each(wrapped);
+        let mut elapsed_recorded = false;
+
+        loop {
+            let mut best: Option<(Time, u32, Action)> = None;
+            let consider = |cand: (Time, u32, Action), best: &mut Option<(Time, u32, Action)>| {
+                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    *best = Some(cand);
+                }
+            };
+            for p in 0..n {
+                let clock = self.clocks[p as usize];
+                match &self.stalls[p as usize] {
+                    Some(stall) => {
+                        if self.stall_satisfied(p, stall) {
+                            let t = clock.max(self.wake_floor[p as usize]);
+                            consider((t, p, Action::Resume), &mut best);
+                        }
+                        if let Some(arr) = self.earliest_inbound(p) {
+                            consider((clock.max(arr), p, Action::Msg), &mut best);
+                        }
+                    }
+                    None => {
+                        if pool.is_finished(p) {
+                            if let Some(arr) = self.earliest_inbound(p) {
+                                consider((clock.max(arr), p, Action::Msg), &mut best);
+                            }
+                        } else if let Some(req) = pool.peek_request(p) {
+                            consider((clock + req.pre_cycles(), p, Action::Op), &mut best);
+                        }
+                    }
+                }
+            }
+
+            if !elapsed_recorded && pool.live_count() == 0 {
+                self.stats.elapsed_cycles =
+                    self.clocks.iter().map(|t| t.cycles()).max().unwrap_or(0);
+                elapsed_recorded = true;
+            }
+
+            let Some((_, p, action)) = best else {
+                if pool.live_count() == 0 && self.net.in_flight() == 0 {
+                    break;
+                }
+                self.deadlock_panic(&pool);
+            };
+
+            match action {
+                Action::Op => {
+                    let req = pool.take_request(p).expect("scheduled op without request");
+                    self.charge(p, TimeCat::Task, req.pre_cycles());
+                    // Inline checks on the accesses inside compute loops.
+                    let surrogate = self.cfg.check.compute_check_cycles(req.pre_cycles());
+                    if surrogate > 0 {
+                        self.charge(p, TimeCat::Task, surrogate);
+                        self.stats.checks.check_cycles += surrogate;
+                    }
+                    self.drain_messages(p);
+                    if let Some(resp) = self.exec_op(p, &req, false) {
+                        pool.resume(p, resp);
+                    } else {
+                        debug_assert!(self.stalls[p as usize].is_some(), "no response and no stall");
+                    }
+                }
+                Action::Resume => {
+                    if let Some(resp) = self.resume_stalled(p) {
+                        pool.resume(p, resp);
+                    }
+                }
+                Action::Msg => {
+                    let env = self.pop_inbound(p).expect("scheduled message vanished");
+                    let t = self.clocks[p as usize].max(env.arrival);
+                    self.clocks[p as usize] = t;
+                    self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                    self.handle_message(p, env.src, env.msg);
+                }
+            }
+        }
+
+        if !elapsed_recorded {
+            self.stats.elapsed_cycles = self.clocks.iter().map(|t| t.cycles()).max().unwrap_or(0);
+        }
+        pool.join();
+        self.stats.messages = *self.net.stats();
+        self.audit();
+        self.stats.clone()
+    }
+
+    /// Handles every message that has arrived at `p` by its current clock
+    /// (the poll at an operation boundary / loop back-edge), including the
+    /// node's shared incoming queue when load balancing is enabled.
+    fn drain_messages(&mut self, p: u32) {
+        loop {
+            let now = self.clocks[p as usize];
+            let own = self.net.peek_arrival(p).filter(|&a| a <= now);
+            let shared = if self.cfg.load_balance_incoming {
+                self.net.peek_vnode_arrival(p).filter(|&a| a <= now)
+            } else {
+                None
+            };
+            let env = match (own, shared) {
+                (Some(a), Some(b)) if b < a => self.net.pop_vnode_earliest(p),
+                (Some(_), _) => self.net.pop_earliest(p),
+                (None, Some(_)) => self.net.pop_vnode_earliest(p),
+                (None, None) => break,
+            };
+            let Some(env) = env else { break };
+            self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+            self.handle_message(p, env.src, env.msg);
+        }
+    }
+
+    /// Earliest message `p` could handle: its own inbox, plus the node's
+    /// shared incoming queue under load balancing.
+    fn earliest_inbound(&self, p: u32) -> Option<Time> {
+        let own = self.net.peek_arrival(p);
+        let shared = if self.cfg.load_balance_incoming {
+            self.net.peek_vnode_arrival(p)
+        } else {
+            None
+        };
+        match (own, shared) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops the earliest message `p` can handle (see [`Self::earliest_inbound`]).
+    fn pop_inbound(&mut self, p: u32) -> Option<shasta_memchan::Envelope<ProtoMsg>> {
+        let own = self.net.peek_arrival(p);
+        let shared = if self.cfg.load_balance_incoming {
+            self.net.peek_vnode_arrival(p)
+        } else {
+            None
+        };
+        match (own, shared) {
+            (Some(a), Some(b)) if b < a => self.net.pop_vnode_earliest(p),
+            (Some(_), _) => self.net.pop_earliest(p),
+            (None, Some(_)) => self.net.pop_vnode_earliest(p),
+            (None, None) => None,
+        }
+    }
+
+    /// Advances `p`'s clock by `cycles`; attributes them to `cat` only when
+    /// the processor is not stalled (stall windows are attributed wholesale
+    /// at resume, which is how the paper hides message handling under stall
+    /// time).
+    pub(crate) fn pay(&mut self, p: u32, cat: TimeCat, cycles: u64) {
+        self.clocks[p as usize] += cycles;
+        if self.stalls[p as usize].is_none() {
+            self.stats.breakdowns[p as usize].add(cat, cycles);
+        }
+    }
+
+    /// Advances `p`'s clock by `cycles`, always attributing them to `cat`
+    /// (used before a stall is recorded).
+    pub(crate) fn charge(&mut self, p: u32, cat: TimeCat, cycles: u64) {
+        self.clocks[p as usize] += cycles;
+        self.stats.breakdowns[p as usize].add(cat, cycles);
+    }
+
+    /// Records a stall beginning now.
+    fn begin_stall(&mut self, p: u32, kind: StallKind, cat: TimeCat) {
+        debug_assert!(self.stalls[p as usize].is_none(), "nested stall");
+        self.stalls[p as usize] = Some(Stall { kind, since: self.clocks[p as usize], cat });
+    }
+
+    /// Whether `p`'s stall condition is satisfied.
+    fn stall_satisfied(&self, p: u32, stall: &Stall) -> bool {
+        match &stall.kind {
+            StallKind::Miss { blocks, .. } => {
+                let v = self.vnode(p);
+                blocks.iter().all(|b| {
+                    let s = self.block_state(v, *b);
+                    !s.pending() && !s.downgrading()
+                })
+            }
+            StallKind::StoreLimit { .. } => {
+                self.outstanding_stores[p as usize] < self.cfg.max_outstanding_stores
+            }
+            StallKind::ReleaseWait { epoch, .. } => {
+                self.epochs[self.vnode(p)].quiesced_before(*epoch)
+            }
+            StallKind::LockWait { lock } => self.lock_grants[p as usize].contains(lock),
+            StallKind::BarrierWait { id } => self.barrier_done[p as usize].contains(id),
+        }
+    }
+
+    /// Resumes a stalled processor; returns the response to hand to its
+    /// fiber, or `None` if it transitioned into another stall.
+    fn resume_stalled(&mut self, p: u32) -> Option<Resp> {
+        let now = self.clocks[p as usize].max(self.wake_floor[p as usize]);
+        self.clocks[p as usize] = now;
+        let stall = self.stalls[p as usize].take().expect("resume without stall");
+        let window = now - stall.since;
+        self.stats.breakdowns[p as usize].add(stall.cat, window);
+        match stall.kind {
+            StallKind::Miss { op, is_read, .. } => {
+                if is_read {
+                    self.stats.read_latency_cycles += window;
+                    self.stats.read_latency_count += 1;
+                }
+                self.exec_op(p, &op, true)
+            }
+            StallKind::StoreLimit { op } => self.exec_op(p, &op, true),
+            StallKind::ReleaseWait { then, .. } => match then {
+                AfterRelease::Nothing => Some(Resp::Unit),
+                AfterRelease::Lock(lock) => {
+                    self.charge(p, TimeCat::Sync, self.cost.sync_issue_cycles);
+                    let mgr = self.lock_manager(lock);
+                    self.post(p, mgr, ProtoMsg::LockRel { lock });
+                    Some(Resp::Unit)
+                }
+                AfterRelease::Barrier(id) => {
+                    self.charge(p, TimeCat::Sync, self.cost.sync_issue_cycles);
+                    self.begin_stall(p, StallKind::BarrierWait { id }, TimeCat::Sync);
+                    self.post(p, 0, ProtoMsg::BarrierArrive { id });
+                    None
+                }
+            },
+            StallKind::LockWait { lock } => {
+                self.lock_grants[p as usize].remove(&lock);
+                Some(Resp::Unit)
+            }
+            StallKind::BarrierWait { id } => {
+                self.barrier_done[p as usize].remove(&id);
+                Some(Resp::Unit)
+            }
+        }
+    }
+
+    /// Sends a protocol message, or handles it inline when `src == dst`
+    /// (a processor "messaging itself" is a function call in Shasta).
+    pub(crate) fn post(&mut self, src: u32, dst: u32, msg: ProtoMsg) {
+        if src == dst {
+            self.handle_message(src, src, msg);
+        } else {
+            self.pay(src, TimeCat::Message, self.cost.msg_send_cycles);
+            let payload = msg.payload_bytes();
+            let class = match msg {
+                ProtoMsg::Downgrade { .. } => Some(shasta_stats::MsgClass::Downgrade),
+                _ => None,
+            };
+            self.net.send(src, dst, msg, payload, self.clocks[src as usize], class);
+        }
+    }
+
+    /// Manager processor for application lock `lock`.
+    pub(crate) fn lock_manager(&self, lock: u32) -> u32 {
+        lock % self.topo.procs()
+    }
+
+    // ------------------------------------------------------------------
+    // Operation execution
+    // ------------------------------------------------------------------
+
+    /// Executes one application operation for `p`. Returns the response, or
+    /// `None` if the processor stalled (a stall record has been created).
+    /// `retry` skips compute and check charging when re-executing after a
+    /// stall.
+    fn exec_op(&mut self, p: u32, op: &Req, retry: bool) -> Option<Resp> {
+        if self.cfg.mode == Mode::Hardware {
+            return self.exec_hw(p, op);
+        }
+        match *op {
+            Req::Load { addr, size, fp, .. } => self.exec_load(p, addr, size, fp, retry, op),
+            Req::Store { addr, size, value, fp, .. } => {
+                self.exec_store(p, addr, size, value, fp, retry, op)
+            }
+            Req::ReadRange { addr, len, .. } => self.exec_read_range(p, addr, len, retry, op),
+            Req::WriteRange { addr, ref data, .. } => {
+                let data = data.clone();
+                self.exec_write_range(p, addr, &data, retry, op)
+            }
+            Req::Acquire { lock, .. } => {
+                self.charge(p, TimeCat::Task, self.cost.sync_issue_cycles);
+                self.begin_stall(p, StallKind::LockWait { lock }, TimeCat::Sync);
+                let mgr = self.lock_manager(lock);
+                self.post(p, mgr, ProtoMsg::LockAcq { lock });
+                None
+            }
+            Req::Release { lock, .. } => {
+                let v = self.vnode(p);
+                let epoch = self.epochs[v].open_epoch();
+                self.begin_stall(
+                    p,
+                    StallKind::ReleaseWait { epoch, then: AfterRelease::Lock(lock) },
+                    TimeCat::Write,
+                );
+                None
+            }
+            Req::Fence { .. } => {
+                let v = self.vnode(p);
+                let epoch = self.epochs[v].open_epoch();
+                self.begin_stall(
+                    p,
+                    StallKind::ReleaseWait { epoch, then: AfterRelease::Nothing },
+                    TimeCat::Write,
+                );
+                None
+            }
+            Req::Barrier { id, .. } => {
+                let v = self.vnode(p);
+                let epoch = self.epochs[v].open_epoch();
+                self.begin_stall(
+                    p,
+                    StallKind::ReleaseWait { epoch, then: AfterRelease::Barrier(id) },
+                    TimeCat::Write,
+                );
+                None
+            }
+            Req::Poll { .. } => {
+                if self.cfg.check.enabled {
+                    let c = self.cfg.check.poll_cycles;
+                    self.charge(p, TimeCat::Task, c);
+                    self.stats.checks.poll_cycles += c;
+                }
+                Some(Resp::Unit)
+            }
+        }
+    }
+
+    /// Charges the inline-check cost for a scalar access.
+    fn charge_check(&mut self, p: u32, kind: AccessKind) {
+        let c = self.cfg.check.check_cycles(kind) + self.cfg.check.poll_cycles;
+        self.charge(p, TimeCat::Task, c);
+        self.stats.checks.check_cycles += self.cfg.check.check_cycles(kind);
+        self.stats.checks.poll_cycles += self.cfg.check.poll_cycles;
+        self.stats.checks.checks += 1;
+    }
+
+    fn block_of(&self, addr: Addr) -> Block {
+        self.space
+            .block_of(addr)
+            .unwrap_or_else(|| panic!("access to unallocated shared address {addr:#x}"))
+    }
+
+    fn exec_load(
+        &mut self,
+        p: u32,
+        addr: Addr,
+        size: u8,
+        fp: bool,
+        retry: bool,
+        op: &Req,
+    ) -> Option<Resp> {
+        let v = self.vnode(p);
+        if !retry {
+            let kind = if fp { AccessKind::FpLoad } else { AccessKind::IntLoad };
+            self.charge_check(p, kind);
+        }
+        // The flag-technique check: compare the loaded longword against the
+        // invalid flag; only on a match fall into the miss handler.
+        if self.cfg.check.flag_loads() {
+            let word = self.mems[v].longword(addr);
+            if word != INVALID_FLAG {
+                return Some(Resp::Value(self.mems[v].read_scalar(addr, size)));
+            }
+        } else {
+            // No instrumentation: consult the state table directly (used by
+            // check-disabled configurations, which also never miss).
+            let block = self.block_of(addr);
+            if self.block_state(v, block).readable() {
+                return Some(Resp::Value(self.mems[v].read_scalar(addr, size)));
+            }
+        }
+        // Miss path: range check + state table lookup distinguishes a real
+        // miss from a false miss.
+        let block = self.block_of(addr);
+        let state = self.block_state(v, block);
+        if state.readable() {
+            // Application data happened to equal the flag value.
+            self.charge(p, TimeCat::Task, self.cfg.check.false_miss_cycles);
+            self.stats.misses.false_misses += 1;
+            return Some(Resp::Value(self.mems[v].read_scalar(addr, size)));
+        }
+        self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
+        match state {
+            LineState::PendingDgShared | LineState::PendingDgInvalid => {
+                // §3.4.3: the block is mid-downgrade but the prior state was
+                // sufficient for a read; service it under the line lock.
+                self.pay(p, TimeCat::Other, self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles);
+                if state == LineState::PendingDgShared {
+                    self.set_priv(p, block, PrivState::Shared);
+                }
+                Some(Resp::Value(self.mems[v].read_scalar(addr, size)))
+            }
+            LineState::PendingRead | LineState::PendingWrite => {
+                // Another processor on the node already requested the block.
+                if self.cfg.mode == Mode::Smp {
+                    self.stats.misses.merged += 1;
+                }
+                self.begin_stall(
+                    p,
+                    StallKind::Miss { op: op.clone(), blocks: vec![block], is_read: true },
+                    TimeCat::Read,
+                );
+                self.pay(p, TimeCat::Read, self.smp_lock());
+                None
+            }
+            LineState::Invalid => {
+                self.begin_stall(
+                    p,
+                    StallKind::Miss { op: op.clone(), blocks: vec![block], is_read: true },
+                    TimeCat::Read,
+                );
+                self.issue_request(p, block, ReqKind::Read);
+                None
+            }
+            // readable states were handled above
+            LineState::Shared | LineState::Exclusive => unreachable!("readable handled earlier"),
+        }
+    }
+
+    fn smp_lock(&self) -> u64 {
+        if self.cfg.mode == Mode::Smp {
+            self.cost.smp_lock_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Whether an inline store check passes for `p` on `block`.
+    fn store_check_passes(&self, p: u32, block: Block) -> bool {
+        match self.cfg.mode {
+            // SMP-Shasta: the inline check reads only the private table.
+            Mode::Smp => self.priv_state(p, block).writable(),
+            // Base-Shasta: the processor's own (node) state table.
+            Mode::Base => self.block_state(self.vnode(p), block).writable(),
+            Mode::Hardware => true,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_store(
+        &mut self,
+        p: u32,
+        addr: Addr,
+        size: u8,
+        value: u64,
+        _fp: bool,
+        retry: bool,
+        op: &Req,
+    ) -> Option<Resp> {
+        let v = self.vnode(p);
+        if !retry {
+            self.charge_check(p, AccessKind::Store);
+        }
+        let block = self.block_of(addr);
+        if self.store_check_passes(p, block) {
+            self.mems[v].write_scalar(addr, size, value);
+            return Some(Resp::Unit);
+        }
+        self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
+        let state = self.block_state(v, block);
+        match state {
+            LineState::Exclusive => {
+                // The node already holds it exclusively: upgrade the private
+                // state table (SMP only; unreachable in Base where the check
+                // reads the same table).
+                debug_assert_eq!(self.cfg.mode, Mode::Smp);
+                self.pay(p, TimeCat::Other, self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles);
+                self.set_priv(p, block, PrivState::Exclusive);
+                self.stats.misses.private_upgrades += 1;
+                self.mems[v].write_scalar(addr, size, value);
+                Some(Resp::Unit)
+            }
+            LineState::PendingDgShared => {
+                // Prior state was exclusive: this store may be serviced
+                // before the downgrade completes; it will be included in the
+                // data the last downgrader sends (§3.4.3).
+                self.pay(p, TimeCat::Other, self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles);
+                self.mems[v].write_scalar(addr, size, value);
+                self.set_priv(p, block, PrivState::Shared);
+                Some(Resp::Unit)
+            }
+            LineState::PendingDgInvalid => {
+                let prior = self.downgrades[v]
+                    .get(&block.start)
+                    .expect("pending-downgrade state without entry")
+                    .prior;
+                if prior.writable() {
+                    self.pay(
+                        p,
+                        TimeCat::Other,
+                        self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
+                    );
+                    self.mems[v].write_scalar(addr, size, value);
+                    self.set_priv(p, block, PrivState::Invalid);
+                    Some(Resp::Unit)
+                } else {
+                    // Prior state insufficient (shared → invalid): wait for
+                    // the downgrade to finish, then re-execute as a write
+                    // miss on the invalid block.
+                    self.begin_stall(
+                        p,
+                        StallKind::Miss { op: op.clone(), blocks: vec![block], is_read: false },
+                        TimeCat::Write,
+                    );
+                    self.pay(p, TimeCat::Write, self.smp_lock());
+                    None
+                }
+            }
+            LineState::PendingWrite => {
+                if self.cfg.nonblocking_stores {
+                    if self.cfg.mode == Mode::Smp {
+                        self.stats.misses.merged += 1;
+                    }
+                    self.pay(p, TimeCat::Other, self.smp_lock() + self.cost.miss_entry_cycles);
+                    self.mems[v].write_scalar(addr, size, value);
+                    let bytes = value.to_le_bytes()[..size as usize].to_vec();
+                    self.miss[v]
+                        .get_mut(block.start)
+                        .expect("pending state without miss entry")
+                        .merge_store(addr, bytes);
+                    Some(Resp::Unit)
+                } else {
+                    self.begin_stall(
+                        p,
+                        StallKind::Miss { op: op.clone(), blocks: vec![block], is_read: false },
+                        TimeCat::Write,
+                    );
+                    None
+                }
+            }
+            LineState::PendingRead => {
+                if self.cfg.nonblocking_stores {
+                    if self.cfg.mode == Mode::Smp {
+                        self.stats.misses.merged += 1;
+                    }
+                    self.pay(p, TimeCat::Other, self.smp_lock() + self.cost.miss_entry_cycles);
+                    self.mems[v].write_scalar(addr, size, value);
+                    let bytes = value.to_le_bytes()[..size as usize].to_vec();
+                    let e = self.miss[v]
+                        .get_mut(block.start)
+                        .expect("pending state without miss entry");
+                    e.merge_store(addr, bytes);
+                    e.wants_exclusive = true;
+                    Some(Resp::Unit)
+                } else {
+                    self.begin_stall(
+                        p,
+                        StallKind::Miss { op: op.clone(), blocks: vec![block], is_read: false },
+                        TimeCat::Write,
+                    );
+                    None
+                }
+            }
+            LineState::Shared | LineState::Invalid => {
+                // A genuine store miss: upgrade (shared) or read-exclusive
+                // (invalid) request. Respect the outstanding-store limit.
+                if self.outstanding_stores[p as usize] >= self.cfg.max_outstanding_stores {
+                    self.begin_stall(p, StallKind::StoreLimit { op: op.clone() }, TimeCat::Write);
+                    return None;
+                }
+                let kind = if state == LineState::Shared { ReqKind::Upgrade } else { ReqKind::Write };
+                if self.cfg.nonblocking_stores {
+                    self.issue_request(p, block, kind);
+                    // When the requester is its own home the transaction may
+                    // have completed inline (the entry is already retired and
+                    // the block exclusive); otherwise record the store for
+                    // the reply merge.
+                    self.mems[v].write_scalar(addr, size, value);
+                    if let Some(e) = self.miss[v].get_mut(block.start) {
+                        let bytes = value.to_le_bytes()[..size as usize].to_vec();
+                        e.merge_store(addr, bytes);
+                    } else {
+                        debug_assert!(self.block_state(v, block).writable());
+                    }
+                    Some(Resp::Unit)
+                } else {
+                    self.begin_stall(
+                        p,
+                        StallKind::Miss { op: op.clone(), blocks: vec![block], is_read: false },
+                        TimeCat::Write,
+                    );
+                    self.issue_request(p, block, kind);
+                    None
+                }
+            }
+        }
+    }
+
+    /// Issues a request for `block` to its home (creating the miss entry and
+    /// setting the pending state). Costs accrue to `p` (inside its stall
+    /// window if it is stalled).
+    pub(crate) fn issue_request(&mut self, p: u32, block: Block, kind: ReqKind) {
+        let v = self.vnode(p);
+        let epoch = match kind {
+            ReqKind::Read => 0,
+            ReqKind::Write | ReqKind::Upgrade => {
+                self.outstanding_stores[p as usize] += 1;
+                self.epochs[v].issue_store()
+            }
+        };
+        assert!(
+            self.miss[v].get(block.start).is_none(),
+            "P{p} issuing {kind:?} for block {:#x} which already has an entry\n{}",
+            block.start,
+            self.trace.render()
+        );
+        self.miss[v].insert(MissEntry::new(block, kind, p, epoch));
+        let pending = match kind {
+            ReqKind::Read => LineState::PendingRead,
+            _ => LineState::PendingWrite,
+        };
+        self.set_block_state(v, block, pending);
+        self.pay(p, TimeCat::Other, self.smp_lock() + self.cost.miss_entry_cycles);
+        let home = self.home_proc(block);
+        let msg = match kind {
+            ReqKind::Read => ProtoMsg::ReadReq { block },
+            ReqKind::Write => ProtoMsg::WriteReq { block },
+            ReqKind::Upgrade => ProtoMsg::UpgradeReq { block },
+        };
+        self.trace_event(p, "issue", || format!("{kind:?} {:#x}", block.start));
+        // Future-work extension (§3.1/§5): with shared directory state a
+        // requester colocated with the home performs the lookup itself,
+        // eliminating the intra-node request message.
+        if self.cfg.share_directory
+            && self.cfg.mode == Mode::Smp
+            && p != home
+            && self.vnode(p) == self.vnode(home)
+        {
+            self.stats.shared_dir_lookups += 1;
+            let req_kind = kind;
+            let _ = msg;
+            self.handle_home_request_at(p, home, p, req_kind, block);
+        } else if self.cfg.load_balance_incoming && p != home && self.vnode(p) != self.vnode(home)
+        {
+            // Load-balancing extension: the request lands in the home
+            // node's shared queue; whichever node processor polls first
+            // services it (directory state is shared).
+            self.pay(p, TimeCat::Message, self.cost.msg_send_cycles);
+            let payload = msg.payload_bytes();
+            self.net.send_to_vnode(p, home, msg, payload, self.clocks[p as usize]);
+        } else {
+            self.post(p, home, msg);
+        }
+    }
+
+    fn trace_event(&mut self, p: u32, label: &'static str, detail: impl FnOnce() -> String) {
+        let t = self.clocks[p as usize];
+        self.trace.record(t, p, label, detail);
+    }
+
+    // ------------------------------------------------------------------
+    // Batched (range) accesses
+    // ------------------------------------------------------------------
+
+    /// Classifies the blocks of a range for a batched access, requesting any
+    /// missing ones. Returns the blocks still pending (empty = ready).
+    fn prepare_range(&mut self, p: u32, blocks: &[Block], write: bool) -> Vec<Block> {
+        let v = self.vnode(p);
+        let mut waiting = Vec::new();
+        for &block in blocks {
+            let state = self.block_state(v, block);
+            let sufficient = if write { state.writable() } else { state.readable() };
+            if sufficient {
+                // Upgrade the private table if this processor had not
+                // established access (SMP; batch checks always use the
+                // private table, §3.4.1).
+                if self.cfg.mode == Mode::Smp {
+                    let want = if write { PrivState::Exclusive } else { PrivState::Shared };
+                    if self.priv_state(p, block) < want {
+                        self.pay(p, TimeCat::Other, self.cost.priv_upgrade_cycles);
+                        self.set_priv(p, block, want);
+                        self.stats.misses.private_upgrades += 1;
+                    }
+                }
+                continue;
+            }
+            match state {
+                LineState::PendingRead | LineState::PendingWrite => {
+                    if self.cfg.mode == Mode::Smp {
+                        self.stats.misses.merged += 1;
+                    }
+                    // A write needs exclusivity; a pending read will not
+                    // grant it, but the wake-and-retry loop re-requests.
+                    waiting.push(block);
+                }
+                LineState::PendingDgShared | LineState::PendingDgInvalid => {
+                    if !write && state == LineState::PendingDgShared {
+                        // Prior exclusive ⇒ readable during the downgrade.
+                        continue;
+                    }
+                    if !write {
+                        // Invalid-bound downgrade: memory is intact until the
+                        // last downgrader writes flags; readable now.
+                        continue;
+                    }
+                    waiting.push(block);
+                }
+                LineState::Invalid => {
+                    let kind = if write { ReqKind::Write } else { ReqKind::Read };
+                    self.issue_request(p, block, kind);
+                    waiting.push(block);
+                }
+                LineState::Shared => {
+                    debug_assert!(write, "shared is readable");
+                    self.issue_request(p, block, ReqKind::Upgrade);
+                    waiting.push(block);
+                }
+                LineState::Exclusive => unreachable!("exclusive is sufficient"),
+            }
+        }
+        waiting
+    }
+
+    fn charge_batch(&mut self, p: u32, addr: Addr, len: u64, loads_only: bool) {
+        let line = self.space.line_bytes();
+        let lines = (addr + len - 1) / line - addr / line + 1;
+        let c = self.cfg.check.batch_cycles(lines, loads_only) + self.cfg.check.poll_cycles;
+        self.charge(p, TimeCat::Task, c);
+        self.stats.checks.check_cycles += self.cfg.check.batch_cycles(lines, loads_only);
+        self.stats.checks.poll_cycles += self.cfg.check.poll_cycles;
+        self.stats.checks.batches += 1;
+    }
+
+    fn exec_read_range(&mut self, p: u32, addr: Addr, len: u64, retry: bool, op: &Req) -> Option<Resp> {
+        if !retry {
+            self.charge_batch(p, addr, len, true);
+        }
+        let blocks = self.space.blocks_in(addr, len);
+        let waiting = self.prepare_range(p, &blocks, false);
+        if waiting.is_empty() {
+            let v = self.vnode(p);
+            return Some(Resp::Data(self.mems[v].read(addr, len).to_vec()));
+        }
+        self.begin_stall(
+            p,
+            StallKind::Miss { op: op.clone(), blocks, is_read: true },
+            TimeCat::Read,
+        );
+        None
+    }
+
+    fn exec_write_range(
+        &mut self,
+        p: u32,
+        addr: Addr,
+        data: &[u8],
+        retry: bool,
+        op: &Req,
+    ) -> Option<Resp> {
+        if !retry {
+            self.charge_batch(p, addr, data.len() as u64, false);
+        }
+        let blocks = self.space.blocks_in(addr, data.len() as u64);
+        let waiting = self.prepare_range(p, &blocks, true);
+        if waiting.is_empty() {
+            let v = self.vnode(p);
+            self.mems[v].write(addr, data);
+            return Some(Resp::Unit);
+        }
+        self.begin_stall(
+            p,
+            StallKind::Miss { op: op.clone(), blocks, is_read: false },
+            TimeCat::Write,
+        );
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Hardware (ANL) mode
+    // ------------------------------------------------------------------
+
+    fn exec_hw(&mut self, p: u32, op: &Req) -> Option<Resp> {
+        match *op {
+            Req::Load { addr, size, .. } => Some(Resp::Value(self.mems[0].read_scalar(addr, size))),
+            Req::Store { addr, size, value, .. } => {
+                self.mems[0].write_scalar(addr, size, value);
+                Some(Resp::Unit)
+            }
+            Req::ReadRange { addr, len, .. } => Some(Resp::Data(self.mems[0].read(addr, len).to_vec())),
+            Req::WriteRange { addr, ref data, .. } => {
+                let data = data.clone();
+                self.mems[0].write(addr, &data);
+                Some(Resp::Unit)
+            }
+            Req::Acquire { lock, .. } => {
+                self.charge(p, TimeCat::Sync, self.cost.hw_lock_cycles);
+                let info = self.locks.entry(lock).or_default();
+                if info.holder.is_none() {
+                    info.holder = Some(p);
+                    Some(Resp::Unit)
+                } else {
+                    info.queue.push_back(p);
+                    self.begin_stall(p, StallKind::LockWait { lock }, TimeCat::Sync);
+                    None
+                }
+            }
+            Req::Release { lock, .. } => {
+                self.charge(p, TimeCat::Sync, self.cost.hw_lock_cycles);
+                let now = self.clocks[p as usize];
+                let info = self.locks.get_mut(&lock).expect("release of unknown lock");
+                assert_eq!(info.holder, Some(p), "hardware lock released by non-holder");
+                info.holder = info.queue.pop_front();
+                if let Some(next) = info.holder {
+                    self.lock_grants[next as usize].insert(lock);
+                    self.bump_wake(next, now);
+                }
+                Some(Resp::Unit)
+            }
+            Req::Barrier { id, .. } => {
+                self.charge(p, TimeCat::Sync, self.cost.hw_barrier_cycles);
+                let procs = self.topo.procs();
+                let now = self.clocks[p as usize];
+                let info = self.barriers.entry(id).or_default();
+                info.arrived += 1;
+                if info.arrived == procs {
+                    info.arrived = 0;
+                    let waiting = std::mem::take(&mut info.waiting);
+                    for w in waiting {
+                        self.barrier_done[w as usize].insert(id);
+                        self.bump_wake(w, now);
+                    }
+                    Some(Resp::Unit)
+                } else {
+                    info.waiting.push(p);
+                    self.begin_stall(p, StallKind::BarrierWait { id }, TimeCat::Sync);
+                    None
+                }
+            }
+            Req::Fence { .. } => Some(Resp::Unit),
+            Req::Poll { .. } => Some(Resp::Unit),
+        }
+    }
+
+    fn deadlock_panic(&self, pool: &FiberPool<Req, Resp>) -> ! {
+        let mut diag = String::from("protocol deadlock: no runnable processor\n");
+        for p in 0..self.topo.procs() {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                diag,
+                "  P{p}: clock={} finished={} stall={:?}",
+                self.clocks[p as usize],
+                pool.is_finished(p),
+                self.stalls[p as usize].as_ref().map(|s| &s.kind)
+            );
+        }
+        use std::fmt::Write as _;
+        let _ = writeln!(diag, "  in-flight messages: {}", self.net.in_flight());
+        for (v, t) in self.miss.iter().enumerate() {
+            for e in t.iter() {
+                let _ = writeln!(
+                    diag,
+                    "  vnode {v}: miss entry block={:#x} kind={:?} requester={} replied={}",
+                    e.block.start, e.kind, e.requester, e.replied
+                );
+            }
+        }
+        let _ = write!(diag, "{}", self.trace.render());
+        panic!("{diag}");
+    }
+}
+
+/// Mapping from an entry's request kind to the miss statistic it produces.
+pub(crate) fn miss_kind_of(kind: ReqKind) -> MissKind {
+    match kind {
+        ReqKind::Read => MissKind::Read,
+        ReqKind::Write => MissKind::Write,
+        ReqKind::Upgrade => MissKind::Upgrade,
+    }
+}
+
+/// Downgrade target for a private-state ceiling.
+pub(crate) fn priv_ceiling(to: DowngradeTo) -> PrivState {
+    match to {
+        DowngradeTo::Shared => PrivState::Shared,
+        DowngradeTo::Invalid => PrivState::Invalid,
+    }
+}

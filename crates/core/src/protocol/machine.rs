@@ -1,0 +1,561 @@
+//! The simulated cluster machine: all protocol state for one run.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use shasta_cluster::{CostModel, Topology};
+use shasta_memchan::Network;
+use shasta_sim::{Time, Trace};
+use shasta_stats::{RunStats, TimeCat};
+
+use crate::api::Req;
+use crate::directory::Directory;
+use crate::misstable::{EpochTracker, MissTable};
+use crate::protocol::config::{Mode, ProtocolConfig};
+use crate::protocol::msg::{DowngradeTo, ProtoMsg};
+use crate::space::{Addr, Block, BlockHint, HomeHint, SharedSpace};
+use crate::state::{LineState, NodeMem, PrivState, PrivTable};
+
+/// A deferred protocol action, executed when the last downgrade message for
+/// a block is handled (or immediately when no messages are needed), §3.4.3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Deferred {
+    /// Send the block data to `requester` as a read reply and notify the
+    /// home that the block is now shared by `requester` (and the owner).
+    ReadDone {
+        /// Original requester.
+        requester: u32,
+    },
+    /// Send the block data to `requester` as a write reply (carrying the
+    /// ack count arranged by the home) and notify the home of the ownership
+    /// change.
+    WriteDone {
+        /// Original requester.
+        requester: u32,
+        /// Invalidation acks the requester should expect.
+        acks_expected: u32,
+    },
+    /// The node finished invalidating its copy: acknowledge the writer.
+    InvDone {
+        /// Processor awaiting the invalidation ack.
+        ack_to: u32,
+    },
+}
+
+/// An in-progress block downgrade on a virtual node.
+#[derive(Clone, Debug)]
+pub struct DowngradeEntry {
+    /// Downgrade messages still unhandled.
+    pub remaining: u32,
+    /// Target state.
+    pub to: DowngradeTo,
+    /// Action for the last downgrader to execute.
+    pub deferred: Deferred,
+    /// Block state before the downgrade began; accesses by processors that
+    /// already handled their downgrade message may still be serviced if this
+    /// prior state was sufficient (§3.4.3).
+    pub prior: LineState,
+}
+
+/// Why a processor is stalled, and what to do when it can make progress.
+#[derive(Clone, PartialEq, Debug)]
+pub enum StallKind {
+    /// Waiting for block state so the recorded operation can be retried.
+    Miss {
+        /// The operation to re-execute on wake.
+        op: Req,
+        /// Blocks that must leave pending states.
+        blocks: Vec<Block>,
+        /// Whether this stall began as a read miss (for latency stats).
+        is_read: bool,
+    },
+    /// Too many outstanding store misses; retry the operation when the
+    /// count drops.
+    StoreLimit {
+        /// The operation to re-execute on wake.
+        op: Req,
+    },
+    /// Release semantics: waiting for this node's previous-epoch stores.
+    ReleaseWait {
+        /// Epoch opened by this release; all earlier epochs must quiesce.
+        epoch: u64,
+        /// What the release was for.
+        then: AfterRelease,
+    },
+    /// Waiting for a lock grant.
+    LockWait {
+        /// Lock id.
+        lock: u32,
+    },
+    /// Waiting for a barrier release.
+    BarrierWait {
+        /// Barrier id.
+        id: u32,
+    },
+}
+
+/// What happens after a release's store-quiescence wait completes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AfterRelease {
+    /// Nothing: a bare store fence.
+    Nothing,
+    /// Send the lock-release to the manager and resume.
+    Lock(u32),
+    /// Arrive at the barrier and keep waiting for its release.
+    Barrier(u32),
+}
+
+/// A stalled processor's bookkeeping.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Stall {
+    /// Why the processor is stalled.
+    pub kind: StallKind,
+    /// When the stall began (for breakdown accounting).
+    pub since: Time,
+    /// Which execution-time category the stall accrues to.
+    pub cat: TimeCat,
+}
+
+/// Store entries whose data reply has been processed but whose invalidation
+/// acks are still arriving.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LingeringAcks {
+    /// Block the store targeted.
+    pub block_start: Addr,
+    /// Acks still expected.
+    pub remaining: u32,
+    /// Epoch to credit on completion.
+    pub epoch: u64,
+    /// Requesting processor (for the outstanding-store limit).
+    pub requester: u32,
+}
+
+/// Manager-side state of one application lock.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LockInfo {
+    /// Current holder, if any.
+    pub holder: Option<u32>,
+    /// FIFO of waiting processors.
+    pub queue: VecDeque<u32>,
+}
+
+/// Manager-side state of one barrier id.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BarrierInfo {
+    /// Arrivals in the current episode.
+    pub arrived: u32,
+    /// Processors waiting (excluding any that arrived inline last).
+    pub waiting: Vec<u32>,
+}
+
+/// The complete simulated machine: topology, cost model, memories, protocol
+/// state, network, and per-processor runtime bookkeeping.
+///
+/// Build one with [`Machine::new`], initialize shared data through
+/// [`Machine::setup`], then execute application programs with
+/// [`Machine::run`](crate::protocol::Machine::run).
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) topo: Topology,
+    pub(crate) cost: CostModel,
+    pub(crate) cfg: ProtocolConfig,
+    pub(crate) space: SharedSpace,
+    /// One memory image + shared state table per virtual node.
+    pub(crate) mems: Vec<NodeMem>,
+    /// One private state table per processor (SMP mode only; empty sized
+    /// tables otherwise).
+    pub(crate) privs: Vec<PrivTable>,
+    /// Directory fragments, one per (home) processor.
+    pub(crate) dirs: Vec<Directory>,
+    /// Miss tables, one per virtual node.
+    pub(crate) miss: Vec<MissTable>,
+    /// Epoch trackers, one per virtual node.
+    pub(crate) epochs: Vec<EpochTracker>,
+    /// In-progress downgrades, one map per virtual node.
+    pub(crate) downgrades: Vec<HashMap<Addr, DowngradeEntry>>,
+    /// Deferred invalidations (block → ack target) per virtual node.
+    pub(crate) deferred_invals: Vec<HashMap<Addr, u32>>,
+    /// Store entries past their reply but awaiting acks, per virtual node.
+    pub(crate) lingering: Vec<Vec<LingeringAcks>>,
+    pub(crate) net: Network<ProtoMsg>,
+    // ---- per-processor runtime ----
+    pub(crate) clocks: Vec<Time>,
+    pub(crate) stalls: Vec<Option<Stall>>,
+    pub(crate) wake_floor: Vec<Time>,
+    pub(crate) lock_grants: Vec<HashSet<u32>>,
+    pub(crate) barrier_done: Vec<HashSet<u32>>,
+    pub(crate) outstanding_stores: Vec<u32>,
+    // ---- synchronization managers ----
+    pub(crate) locks: HashMap<u32, LockInfo>,
+    pub(crate) barriers: HashMap<u32, BarrierInfo>,
+    // ---- output ----
+    pub(crate) stats: RunStats,
+    pub(crate) trace: Trace,
+}
+
+impl Machine {
+    /// Creates a machine with `heap_bytes` of shared heap and the paper's
+    /// default 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode and topology disagree (Base requires clustering 1;
+    /// Hardware requires a single virtual node).
+    pub fn new(topo: Topology, cost: CostModel, cfg: ProtocolConfig, heap_bytes: u64) -> Self {
+        Self::with_line_size(topo, cost, cfg, heap_bytes, crate::space::DEFAULT_LINE_BYTES)
+    }
+
+    /// Creates a machine with an explicit line size (§2.1: "the line size is
+    /// configurable at compile time and is typically set to 64 or 128
+    /// bytes").
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::new`]; additionally if `line_bytes` is not a power of
+    /// two or is smaller than a longword.
+    pub fn with_line_size(
+        topo: Topology,
+        cost: CostModel,
+        cfg: ProtocolConfig,
+        heap_bytes: u64,
+        line_bytes: u64,
+    ) -> Self {
+        assert!(line_bytes >= 4, "a line must hold at least one longword");
+        match cfg.mode {
+            Mode::Base => assert_eq!(
+                topo.clustering(),
+                1,
+                "Base-Shasta treats every processor as its own node (clustering 1)"
+            ),
+            Mode::Hardware => assert_eq!(
+                topo.virt_nodes(),
+                1,
+                "hardware mode shares one memory image: use clustering == procs-per-node == procs"
+            ),
+            Mode::Smp => {}
+        }
+        let mut cfg = cfg;
+        if cfg.load_balance_incoming {
+            // The paper: load-balancing home requests requires sharing the
+            // directory state among the node's processors.
+            cfg.share_directory = true;
+            assert_eq!(cfg.mode, Mode::Smp, "load balancing is an SMP-Shasta extension");
+        }
+        let procs = topo.procs() as usize;
+        let vnodes = topo.virt_nodes() as usize;
+        let space = SharedSpace::new(heap_bytes, line_bytes, topo.procs());
+        let lines = space.heap_lines();
+        Machine {
+            mems: (0..vnodes).map(|_| NodeMem::new(heap_bytes, space.line_bytes())).collect(),
+            privs: (0..procs).map(|_| PrivTable::new(lines)).collect(),
+            dirs: (0..procs).map(|_| Directory::new()).collect(),
+            miss: (0..vnodes).map(|_| MissTable::new()).collect(),
+            epochs: (0..vnodes).map(|_| EpochTracker::default()).collect(),
+            downgrades: (0..vnodes).map(|_| HashMap::new()).collect(),
+            deferred_invals: (0..vnodes).map(|_| HashMap::new()).collect(),
+            lingering: (0..vnodes).map(|_| Vec::new()).collect(),
+            net: Network::new(topo.clone(), cost.clone()),
+            clocks: vec![Time::ZERO; procs],
+            stalls: vec![None; procs],
+            wake_floor: vec![Time::ZERO; procs],
+            lock_grants: (0..procs).map(|_| HashSet::new()).collect(),
+            barrier_done: (0..procs).map(|_| HashSet::new()).collect(),
+            outstanding_stores: vec![0; procs],
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            stats: RunStats::new(procs),
+            trace: Trace::disabled(),
+            topo,
+            cost,
+            cfg,
+            space,
+        }
+    }
+
+    /// Enables bounded event tracing (diagnostics).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::bounded(capacity);
+    }
+
+    /// The topology in effect.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The protocol configuration in effect.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The shared address space (allocations, line/block math).
+    pub fn space(&self) -> &SharedSpace {
+        &self.space
+    }
+
+    /// Statistics collected so far (complete after `run`).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Virtual-node index of processor `p`.
+    pub(crate) fn vnode(&self, p: u32) -> usize {
+        usize::from(self.topo.virt_node_of(p))
+    }
+
+    /// Home processor for the block containing `addr` (always resolved via
+    /// the block's start so a block straddling a page boundary has a single
+    /// home).
+    pub(crate) fn home_proc(&self, block: Block) -> u32 {
+        self.space.home_of(block.start)
+    }
+
+    /// Whether the virtual node `v` currently holds a readable copy of
+    /// `block`.
+    pub(crate) fn node_has_copy(&self, v: usize, block: Block) -> bool {
+        let line = block.first_line(self.space.line_bytes());
+        self.mems[v].line_state(line).readable()
+    }
+
+    /// State of `block`'s first line on virtual node `v` (all lines of a
+    /// block share one state).
+    pub(crate) fn block_state(&self, v: usize, block: Block) -> LineState {
+        self.mems[v].line_state(block.first_line(self.space.line_bytes()))
+    }
+
+    /// Sets all lines of `block` on node `v` to `s`.
+    pub(crate) fn set_block_state(&mut self, v: usize, block: Block, s: LineState) {
+        let r = block.line_range(self.space.line_bytes());
+        self.mems[v].set_lines_state(r, s);
+    }
+
+    /// Sets processor `p`'s private state for all lines of `block`.
+    pub(crate) fn set_priv(&mut self, p: u32, block: Block, s: PrivState) {
+        let r = block.line_range(self.space.line_bytes());
+        self.privs[p as usize].set_range(r, s);
+    }
+
+    /// Processor `p`'s private state for `block` (its first line).
+    pub(crate) fn priv_state(&self, p: u32, block: Block) -> PrivState {
+        self.privs[p as usize].get(block.first_line(self.space.line_bytes()))
+    }
+
+    /// Raises `p`'s wake floor to `t`: if `p` resumes from a stall, it
+    /// resumes no earlier than the event that satisfied it.
+    pub(crate) fn bump_wake(&mut self, p: u32, t: Time) {
+        let w = &mut self.wake_floor[p as usize];
+        if *w < t {
+            *w = t;
+        }
+    }
+
+    /// Raises the wake floor of every processor on virtual node `v`.
+    pub(crate) fn bump_wake_vnode(&mut self, v: usize, t: Time) {
+        for p in self.topo.virt_node_procs(shasta_cluster::NodeId(v as u32)) {
+            self.bump_wake(p.0, t);
+        }
+    }
+
+    /// Initializes shared data before the parallel phase: allocations plus
+    /// direct writes that land at each block's home with the home holding
+    /// an exclusive copy (data is "initialized by its home" as SPLASH-2
+    /// programs do before their timed phase).
+    pub fn setup<R>(&mut self, f: impl FnOnce(&mut SetupCtx<'_>) -> R) -> R {
+        let mut ctx = SetupCtx { m: self };
+        f(&mut ctx)
+    }
+}
+
+/// Initialization-phase handle: allocate shared objects and write their
+/// initial contents without protocol traffic.
+#[derive(Debug)]
+pub struct SetupCtx<'a> {
+    m: &'a mut Machine,
+}
+
+impl SetupCtx<'_> {
+    /// Allocates `size` bytes with the given granularity and home hints.
+    /// Every block is registered in its home's directory with the home as
+    /// exclusive owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on allocation failure (setup-time errors are programming
+    /// errors in experiment definitions).
+    pub fn malloc(&mut self, size: u64, block: BlockHint, home: HomeHint) -> Addr {
+        let addr = self
+            .m
+            .space
+            .malloc(size, block, home)
+            .unwrap_or_else(|e| panic!("setup allocation failed: {e}"));
+        let alloc = *self.m.space.allocation_of(addr).expect("just allocated");
+        let mut cur = alloc.start;
+        while cur < alloc.start + alloc.len {
+            let block = self.m.space.block_of(cur).expect("allocated");
+            let home = self.m.home_proc(block);
+            let hv = self.m.vnode(home);
+            self.m.dirs[home as usize].register(block.start, home);
+            self.m.set_block_state(hv, block, LineState::Exclusive);
+            self.m.set_priv(home, block, crate::state::PrivState::Exclusive);
+            // Initial contents: zeros (not flag values) at the home copy.
+            let zeros = vec![0u8; block.len as usize];
+            self.m.mems[hv].write(block.start, &zeros);
+            cur = block.start + block.len;
+        }
+        addr
+    }
+
+    /// Allocates with default granularity and round-robin homes.
+    pub fn malloc_default(&mut self, size: u64) -> Addr {
+        self.malloc(size, BlockHint::Auto, HomeHint::RoundRobin)
+    }
+
+    fn home_vnode_of(&self, addr: Addr) -> usize {
+        let block = self.m.space.block_of(addr).expect("setup write to unallocated address");
+        let home = self.m.home_proc(block);
+        self.m.vnode(home)
+    }
+
+    /// Writes initial bytes at `addr` (to the home copy).
+    pub fn write(&mut self, addr: Addr, data: &[u8]) {
+        // A range may span blocks with different homes; write block by block.
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let block = self.m.space.block_of(a).expect("setup write to unallocated address");
+            let block_end = block.start + block.len;
+            let n = ((block_end - a) as usize).min(data.len() - off);
+            let v = self.home_vnode_of(a);
+            self.m.mems[v].write(a, &data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Writes an initial `u32`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Writes an initial `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Writes an initial `f64`.
+    pub fn write_f64(&mut self, addr: Addr, value: f64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+
+    /// Writes consecutive initial `f64`s.
+    pub fn write_f64s(&mut self, addr: Addr, values: &[f64]) {
+        let mut bytes = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &bytes);
+    }
+
+    /// Reads back initialized bytes (from the home copy).
+    pub fn read(&mut self, addr: Addr, len: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len as usize);
+        let mut off = 0u64;
+        while off < len {
+            let a = addr + off;
+            let block = self.m.space.block_of(a).expect("setup read of unallocated address");
+            let block_end = block.start + block.len;
+            let n = (block_end - a).min(len - off);
+            let v = self.home_vnode_of(a);
+            out.extend_from_slice(self.m.mems[v].read(a, n));
+            off += n;
+        }
+        out
+    }
+
+    /// The machine's shared space (for line/block math in app setup).
+    pub fn space(&self) -> &SharedSpace {
+        &self.m.space
+    }
+
+    /// Number of processors in the run.
+    pub fn procs(&self) -> u32 {
+        self.m.topo.procs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shasta_cluster::{CostModel, Topology};
+    use crate::state::INVALID_FLAG;
+
+    fn machine() -> Machine {
+        let topo = Topology::new(8, 4, 4).unwrap();
+        Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::smp(), 1 << 20)
+    }
+
+    #[test]
+    fn setup_initializes_home_exclusive() {
+        let mut m = machine();
+        let a = m.setup(|s| {
+            let a = s.malloc(128, BlockHint::Line, HomeHint::Explicit(5));
+            s.write_u64(a, 0xABCD);
+            a
+        });
+        let block = m.space.block_of(a).unwrap();
+        // Home P5 is on virtual node 1; its node holds the data exclusively.
+        assert_eq!(m.home_proc(block), 5);
+        let hv = m.vnode(5);
+        assert_eq!(m.block_state(hv, block), LineState::Exclusive);
+        assert_eq!(m.mems[hv].read_scalar(a, 8), 0xABCD);
+        assert_eq!(m.priv_state(5, block), PrivState::Exclusive);
+        // Other nodes hold flag values and invalid state.
+        let other = 1 - hv;
+        assert_eq!(m.block_state(other, block), LineState::Invalid);
+        assert_eq!(m.mems[other].longword(a), INVALID_FLAG);
+        // Directory registered at the home.
+        assert!(m.dirs[5].peek(block.start).is_some());
+        assert!(m.dirs[0].peek(block.start).is_none());
+    }
+
+    #[test]
+    fn setup_read_back_round_trips_across_blocks() {
+        let mut m = machine();
+        m.setup(|s| {
+            let a = s.malloc(8 * crate::space::PAGE_BYTES, BlockHint::Line, HomeHint::RoundRobin);
+            let data: Vec<u8> = (0..16_384u32).map(|i| (i % 251) as u8).collect();
+            s.write(a, &data);
+            assert_eq!(s.read(a, 16_384), data, "spans pages with different homes");
+            assert_eq!(s.procs(), 8);
+        });
+    }
+
+    #[test]
+    fn load_balancing_requires_smp_mode() {
+        let topo = Topology::new(8, 4, 1).unwrap();
+        let cfg = ProtocolConfig {
+            load_balance_incoming: true,
+            ..ProtocolConfig::base()
+        };
+        let r = std::panic::catch_unwind(|| {
+            Machine::new(topo, CostModel::alpha_4100(), cfg, 1 << 20)
+        });
+        assert!(r.is_err(), "Base mode cannot load-balance");
+    }
+
+    #[test]
+    fn mode_topology_mismatches_panic() {
+        let topo = Topology::new(8, 4, 4).unwrap();
+        let r = std::panic::catch_unwind(|| {
+            Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::base(), 1 << 20)
+        });
+        assert!(r.is_err(), "Base requires clustering 1");
+        let topo = Topology::new(8, 4, 4).unwrap();
+        let r = std::panic::catch_unwind(|| {
+            Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::hardware(), 1 << 20)
+        });
+        assert!(r.is_err(), "hardware requires one virtual node");
+    }
+}

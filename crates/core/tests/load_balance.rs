@@ -1,0 +1,163 @@
+//! The load-balancing future-work extension (§3.1/§5 of the paper): home
+//! requests land in the node's shared incoming queue and are serviced by
+//! whichever processor of the home's node handles them first, using the
+//! (necessarily shared) directory state.
+
+use shasta_cluster::{CostModel, Topology};
+use shasta_core::api::Dsm;
+use shasta_core::protocol::{Machine, ProtocolConfig};
+use shasta_core::space::{BlockHint, HomeHint};
+use shasta_sim::SplitMix64;
+
+type Body = Box<dyn FnOnce(Dsm) + Send>;
+
+fn lb_config() -> ProtocolConfig {
+    ProtocolConfig { load_balance_incoming: true, ..ProtocolConfig::smp() }
+}
+
+fn bodies(n: u32, f: impl Fn(u32, &mut Dsm) + Send + Sync + Clone + 'static) -> Vec<Body> {
+    (0..n)
+        .map(|p| {
+            let f = f.clone();
+            Box::new(move |mut dsm: Dsm| f(p, &mut dsm)) as Body
+        })
+        .collect()
+}
+
+/// With the home processor fully occupied by compute, a sibling services
+/// the incoming request — the whole point of the extension. (The block is
+/// first warmed to shared state; a block held private-exclusive by the busy
+/// processor itself would rightly still need its downgrade.)
+#[test]
+fn busy_home_gets_relieved_by_a_sibling() {
+    let topo = Topology::new(12, 4, 4).unwrap();
+    let mut m = Machine::new(topo, CostModel::alpha_4100(), lb_config(), 1 << 20);
+    let a = m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
+    let stats = m.run(bodies(12, move |p, dsm| {
+        // Warm phase: P8 (node 2) reads, so node 0's copy becomes shared.
+        if p == 8 {
+            assert_eq!(dsm.load_u64(a), 0);
+        }
+        dsm.barrier(0);
+        match p {
+            0 => {
+                // The home crunches without polling for a long time.
+                dsm.compute(2_000_000);
+                dsm.poll();
+            }
+            1..=3 => {
+                // Node mates poll like protocol-idle processors.
+                for _ in 0..4_000 {
+                    dsm.compute(50);
+                    dsm.poll();
+                }
+            }
+            4 => {
+                dsm.compute(1_000);
+                // Without load balancing, this read would wait ~6.6 ms of
+                // simulated time for P0's next poll; a sibling of the home
+                // serves it from the node's shared copy instead.
+                assert_eq!(dsm.load_u64(a), 0);
+            }
+            _ => {}
+        }
+    }));
+    assert!(stats.load_balanced_requests >= 1, "a sibling serviced the request");
+    let us = stats.read_latency_cycles as f64 / stats.read_latency_count.max(1) as f64 / 300.0;
+    assert!(
+        us < 200.0,
+        "load balancing should hide the home's poll gap (mean latency {us:.1} us)"
+    );
+}
+
+/// Same scenario without the extension: the request waits for the home.
+#[test]
+fn without_load_balancing_the_request_waits() {
+    let topo = Topology::new(8, 4, 4).unwrap();
+    let mut m = Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::smp(), 1 << 20);
+    let a = m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
+    let stats = m.run(bodies(8, move |p, dsm| {
+        match p {
+            0 => {
+                dsm.compute(2_000_000);
+                dsm.poll();
+            }
+            1..=3 => {
+                for _ in 0..4_000 {
+                    dsm.compute(50);
+                    dsm.poll();
+                }
+            }
+            4 => {
+                dsm.compute(1_000);
+                assert_eq!(dsm.load_u64(a), 0);
+            }
+            _ => {}
+        }
+    }));
+    assert_eq!(stats.load_balanced_requests, 0);
+    let us = stats.mean_read_latency() / 300.0;
+    assert!(us > 1_000.0, "the request should stall behind the busy home ({us:.1} us)");
+}
+
+/// Results and coherence are unaffected: a randomized locked-counter stress
+/// produces identical final values with and without the extension, and the
+/// post-run audit passes.
+#[test]
+fn load_balancing_preserves_results() {
+    let run = |lb: bool| -> Vec<u64> {
+        let topo = Topology::new(8, 4, 4).unwrap();
+        let cfg = if lb { lb_config() } else { ProtocolConfig::smp() };
+        let mut m = Machine::new(topo, CostModel::alpha_4100(), cfg, 1 << 22);
+        let a = m.setup(|s| s.malloc(1_024, BlockHint::Line, HomeHint::RoundRobin));
+        let out = std::sync::Arc::new(std::sync::Mutex::new(vec![0u64; 16]));
+        let out2 = std::sync::Arc::clone(&out);
+        m.run(bodies(8, move |p, dsm| {
+            let mut rng = SplitMix64::new(p as u64 * 3 + 1);
+            for _ in 0..150 {
+                let slot = rng.below(16);
+                let addr = a + slot * 64;
+                if rng.below(2) == 0 {
+                    dsm.acquire(slot as u32);
+                    let v = dsm.load_u64(addr);
+                    dsm.store_u64(addr, v + 1);
+                    dsm.release(slot as u32);
+                } else {
+                    let _ = dsm.load_u64(addr);
+                }
+            }
+            dsm.barrier(0);
+            if p == 3 {
+                let mut o = out2.lock().unwrap();
+                for (slot, v) in o.iter_mut().enumerate() {
+                    *v = dsm.load_u64(a + slot as u64 * 64);
+                }
+            }
+            dsm.barrier(1);
+        }));
+        std::sync::Arc::try_unwrap(out).unwrap().into_inner().unwrap()
+    };
+    let plain = run(false);
+    let lb = run(true);
+    assert_eq!(plain, lb);
+    assert!(plain.iter().sum::<u64>() > 0);
+}
+
+/// Load balancing implies directory sharing (the paper's requirement), and
+/// runs remain deterministic.
+#[test]
+fn load_balancing_implies_shared_directory_and_determinism() {
+    let run = || {
+        let topo = Topology::new(8, 4, 4).unwrap();
+        let mut m = Machine::new(topo, CostModel::alpha_4100(), lb_config(), 1 << 20);
+        assert!(m.config().share_directory, "implied by load balancing");
+        let a = m.setup(|s| s.malloc(512, BlockHint::Line, HomeHint::RoundRobin));
+        m.run(bodies(8, move |p, dsm| {
+            for i in 0..20u64 {
+                dsm.store_u64(a + ((p as u64 * 20 + i) % 64) * 8, i);
+            }
+            dsm.barrier(0);
+        }))
+    };
+    assert_eq!(run(), run());
+}

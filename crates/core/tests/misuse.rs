@@ -1,0 +1,75 @@
+//! Programming-error diagnostics: misuse panics loudly rather than
+//! corrupting the simulation.
+
+use shasta_cluster::{CostModel, Topology};
+use shasta_core::api::Dsm;
+use shasta_core::protocol::{Machine, ProtocolConfig};
+use shasta_core::space::{BlockHint, HomeHint};
+
+type Body = Box<dyn FnOnce(Dsm) + Send>;
+
+fn machine() -> Machine {
+    let topo = Topology::new(4, 4, 4).unwrap();
+    Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::smp(), 1 << 20)
+}
+
+#[test]
+#[should_panic(expected = "unallocated shared address")]
+fn access_to_unallocated_memory_panics() {
+    let mut m = machine();
+    m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
+    let bodies: Vec<Body> = (0..4u32)
+        .map(|p| {
+            Box::new(move |mut dsm: Dsm| {
+                if p == 0 {
+                    // Way past the single allocation.
+                    let _ = dsm.load_u64(0x9000);
+                }
+            }) as Body
+        })
+        .collect();
+    m.run(bodies);
+}
+
+#[test]
+#[should_panic(expected = "release of unknown lock")]
+fn releasing_an_unheld_lock_panics() {
+    let mut m = machine();
+    m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
+    let bodies: Vec<Body> = (0..4u32)
+        .map(|p| {
+            Box::new(move |mut dsm: Dsm| {
+                if p == 1 {
+                    dsm.release(3);
+                }
+            }) as Body
+        })
+        .collect();
+    m.run(bodies);
+}
+
+#[test]
+#[should_panic(expected = "one program per processor")]
+fn wrong_body_count_panics() {
+    let mut m = machine();
+    m.run(vec![Box::new(|_dsm: Dsm| {}) as Body]);
+}
+
+#[test]
+#[should_panic(expected = "application panic propagates")]
+fn application_panics_propagate_to_the_caller() {
+    let mut m = machine();
+    m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
+    let bodies: Vec<Body> = (0..4u32)
+        .map(|p| {
+            Box::new(move |mut dsm: Dsm| {
+                dsm.compute(10);
+                dsm.poll();
+                if p == 2 {
+                    panic!("application panic propagates");
+                }
+            }) as Body
+        })
+        .collect();
+    m.run(bodies);
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the core data structures: the variable-
+//! granularity allocator, the epoch tracker, and the directory entry.
+
+use proptest::prelude::*;
+use shasta_core::misstable::EpochTracker;
+use shasta_core::space::{BlockHint, HomeHint, SharedSpace, HEAP_BASE};
+
+proptest! {
+    /// Allocations never overlap, are block-aligned, fully block-covered,
+    /// and every address inside maps back to its allocation and to exactly
+    /// one block that does not straddle the allocation.
+    #[test]
+    fn allocator_geometry(
+        sizes in proptest::collection::vec(1u64..5_000, 1..40),
+        hints in proptest::collection::vec(0u8..3, 40),
+        blocks in proptest::collection::vec(1u64..4_096, 40),
+    ) {
+        let mut space = SharedSpace::new(1 << 22, 64, 8);
+        let mut allocs: Vec<(u64, u64)> = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let hint = match hints[i] {
+                0 => BlockHint::Auto,
+                1 => BlockHint::Line,
+                _ => BlockHint::Bytes(blocks[i]),
+            };
+            let Ok(addr) = space.malloc(size, hint, HomeHint::RoundRobin) else {
+                continue; // heap exhausted is legal
+            };
+            let a = *space.allocation_of(addr).expect("just allocated");
+            prop_assert_eq!(a.start, addr);
+            prop_assert!(a.len >= size);
+            prop_assert_eq!(a.start % a.block_bytes, 0, "block alignment");
+            prop_assert_eq!(a.len % a.block_bytes, 0, "block coverage");
+            prop_assert_eq!(a.block_bytes % 64, 0, "line-multiple blocks");
+            for &(s, l) in &allocs {
+                prop_assert!(addr >= s + l || addr + a.len <= s, "no overlap");
+            }
+            // Every byte maps to one block inside the allocation.
+            for probe in [addr, addr + a.len / 2, addr + a.len - 1] {
+                let b = space.block_of(probe).expect("inside allocation");
+                prop_assert!(b.start >= a.start && b.start + b.len <= a.start + a.len);
+                prop_assert!(probe >= b.start && probe < b.start + b.len);
+                // The protocol resolves a block's home from its start
+                // address (a block with a non-power-of-two size may straddle
+                // a page boundary, so per-byte homes can differ — the
+                // protocol never asks for those).
+                let home = space.home_of(b.start);
+                prop_assert!(home < 8);
+            }
+            allocs.push((a.start, a.len));
+        }
+        prop_assert!(space.used_bytes() <= space.heap_bytes() - HEAP_BASE);
+    }
+
+    /// The epoch tracker's release predicate is exactly "no outstanding
+    /// store from an earlier epoch", under arbitrary interleavings of
+    /// issues, completions, and epoch openings.
+    #[test]
+    fn epoch_tracker_predicate(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut t = EpochTracker::default();
+        let mut outstanding: Vec<u64> = Vec::new(); // epochs of live stores
+        for op in ops {
+            match op {
+                0 => {
+                    let e = t.issue_store();
+                    prop_assert_eq!(e, t.current());
+                    outstanding.push(e);
+                }
+                1 => {
+                    if let Some(e) = outstanding.pop() {
+                        t.complete_store(e);
+                    }
+                }
+                _ => {
+                    let new = t.open_epoch();
+                    prop_assert_eq!(new, t.current());
+                }
+            }
+            // Model-check the predicate at every boundary epoch.
+            for probe in 0..=t.current() + 1 {
+                let model = outstanding.iter().all(|&e| e >= probe);
+                prop_assert_eq!(t.quiesced_before(probe), model, "probe epoch {}", probe);
+            }
+            prop_assert_eq!(t.outstanding_total() as usize, outstanding.len());
+        }
+    }
+
+    /// Directory sharer-set operations behave like a set of processor ids.
+    #[test]
+    fn directory_sharers_model(
+        ops in proptest::collection::vec((0u8..3, 0u32..64), 1..100)
+    ) {
+        use shasta_core::directory::DirEntry;
+        let mut e = DirEntry::new_exclusive(0);
+        let mut model = std::collections::BTreeSet::new();
+        model.insert(0u32);
+        for (op, p) in ops {
+            match op {
+                0 => {
+                    e.add_sharer(p);
+                    model.insert(p);
+                }
+                1 => {
+                    e.remove_sharer(p);
+                    model.remove(&p);
+                }
+                _ => {
+                    e.grant_exclusive(p);
+                    model.clear();
+                    model.insert(p);
+                }
+            }
+            prop_assert_eq!(e.sharer_list().collect::<Vec<_>>(),
+                            model.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(e.sharer_count() as usize, model.len());
+            for q in 0..64u32 {
+                prop_assert_eq!(e.is_sharer(q), model.contains(&q));
+            }
+        }
+    }
+}

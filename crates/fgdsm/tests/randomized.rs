@@ -1,0 +1,98 @@
+//! Randomized phase programs on the real-threads runtime — the threaded
+//! analogue of the simulator's property suite: in each phase every word has
+//! one writer; after a barrier, readers must observe exactly the last write.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use shasta_fgdsm::{Config, FgDsm, LINE_WORDS};
+
+/// Deterministic per-seed phase plan shared by all threads.
+fn plan(seed: u64, phases: usize, words: usize, threads: u32) -> Vec<Vec<u32>> {
+    // writers[phase][word] = global thread id
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..phases).map(|_| (0..words).map(|_| next() % threads).collect()).collect()
+}
+
+fn run_seed(seed: u64) {
+    let cfg = Config {
+        nodes: 2,
+        threads_per_node: 3,
+        words: 4 * LINE_WORDS,
+        poll_interval: 8,
+        ..Config::default()
+    };
+    let threads = cfg.nodes * cfg.threads_per_node;
+    let words = cfg.words;
+    let phases = 6;
+    let writers = plan(seed, phases, words, threads);
+    let dsm = FgDsm::new(cfg);
+    let checks = AtomicU64::new(0);
+    dsm.run(|h| {
+        let me = h.node() * 3 + h.thread();
+        for (i, phase) in writers.iter().enumerate() {
+            for (w, &owner) in phase.iter().enumerate() {
+                if owner == me {
+                    h.store(w, (i as u32 + 1) * 1_000_000 + w as u32);
+                }
+            }
+            h.barrier();
+            // Everyone reads a deterministic subset and checks last-write.
+            for (w, _) in phase.iter().enumerate() {
+                if (w as u32 + me).is_multiple_of(3) {
+                    let got = h.load(w);
+                    assert_eq!(
+                        got,
+                        (i as u32 + 1) * 1_000_000 + w as u32,
+                        "seed {seed}: phase {i} word {w} read stale data on thread {me}"
+                    );
+                    checks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            h.barrier();
+        }
+    });
+    assert!(checks.load(Ordering::Relaxed) > 0);
+    assert!(dsm.stats().line_transfers > 0, "seed {seed}: the program shared data");
+}
+
+#[test]
+fn randomized_phase_programs_read_last_writes() {
+    for seed in 0..12 {
+        run_seed(seed);
+    }
+}
+
+/// The same plans with heavy false sharing: all writers pack into one line.
+#[test]
+fn randomized_single_line_contention() {
+    let cfg = Config {
+        nodes: 3,
+        threads_per_node: 2,
+        words: LINE_WORDS,
+        poll_interval: 4,
+        ..Config::default()
+    };
+    let threads = cfg.nodes * cfg.threads_per_node;
+    let writers = plan(99, 8, LINE_WORDS, threads);
+    let dsm = FgDsm::new(cfg);
+    dsm.run(|h| {
+        let me = h.node() * 2 + h.thread();
+        for (i, phase) in writers.iter().enumerate() {
+            for (w, &owner) in phase.iter().enumerate() {
+                if owner == me {
+                    h.store(w, (i as u32) << 16 | w as u32);
+                }
+            }
+            h.barrier();
+            for (w, _) in phase.iter().enumerate() {
+                let got = h.load(w);
+                assert_eq!(got, (i as u32) << 16 | w as u32, "phase {i} word {w}");
+            }
+            h.barrier();
+        }
+    });
+}

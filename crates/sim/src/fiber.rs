@@ -1,0 +1,380 @@
+//! The fiber rendezvous: application threads that suspend at every
+//! protocol-visible operation.
+//!
+//! Each simulated processor is an OS thread running ordinary Rust code. When
+//! it performs a DSM operation it calls [`FiberApi::call`], which hands the
+//! request to the engine thread and blocks until the engine replies. The
+//! engine holds every live fiber's *pending request* (see
+//! [`FiberPool::peek_request`]), so it can always pick the globally earliest
+//! action; between a fiber's operations only that fiber's private data is
+//! touched, so the host-parallel execution of application code cannot
+//! introduce nondeterminism.
+//!
+//! Deadlock discipline: application code must never block on anything except
+//! `call` — all inter-processor communication goes through the simulated
+//! protocol.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::thread::JoinHandle;
+
+/// A boxed fiber body, used by [`FiberPool::spawn_each`].
+pub type FiberBody<Req, Resp> = Box<dyn FnOnce(FiberApi<Req, Resp>) + Send>;
+
+/// Handle given to application code for issuing simulated operations.
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct FiberApi<Req, Resp> {
+    req_tx: SyncSender<Req>,
+    resp_rx: Receiver<Resp>,
+}
+
+impl<Req, Resp> FiberApi<Req, Resp> {
+    /// Submits `req` to the engine and blocks until the engine replies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine terminates without replying (which aborts this
+    /// fiber thread only; the engine surfaces the condition via
+    /// [`FiberPool::join`]).
+    pub fn call(&mut self, req: Req) -> Resp {
+        self.req_tx.send(req).expect("simulation engine terminated while fiber was running");
+        self.resp_rx.recv().expect("simulation engine terminated while fiber awaited a reply")
+    }
+}
+
+/// Result of resuming a fiber with a response.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resumed {
+    /// The fiber issued another request (now pending in the pool).
+    HasRequest,
+    /// The fiber's closure returned; the processor is done.
+    Finished,
+}
+
+#[derive(Debug)]
+enum SlotState<Req> {
+    /// The fiber's next request is buffered and not yet taken by the engine.
+    Pending(Req),
+    /// The engine took the request and has not yet replied (e.g. a stalled
+    /// miss being serviced by other processors).
+    AwaitingReply,
+    /// The fiber's closure returned (or its thread terminated).
+    Finished,
+}
+
+#[derive(Debug)]
+struct Slot<Req, Resp> {
+    resp_tx: SyncSender<Resp>,
+    req_rx: Receiver<Req>,
+    state: SlotState<Req>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of suspended application fibers, one per simulated processor.
+///
+/// Invariant maintained by the pool: every live fiber is either `Pending`
+/// (its next request is buffered here) or `AwaitingReply` (the engine owes it
+/// a response). The engine therefore never needs to block except inside
+/// [`FiberPool::resume`], where the resumed fiber is guaranteed to produce
+/// its next request or finish after a finite amount of application compute.
+#[derive(Debug)]
+pub struct FiberPool<Req, Resp> {
+    slots: Vec<Slot<Req, Resp>>,
+}
+
+impl<Req: Send + 'static, Resp: Send + 'static> FiberPool<Req, Resp> {
+    /// Spawns `n` fibers all running `f(proc_id, api)`.
+    ///
+    /// Blocks until every fiber has either issued its first request or
+    /// finished.
+    pub fn spawn<F>(n: u32, f: F) -> Self
+    where
+        F: Fn(u32, FiberApi<Req, Resp>) + Send + Sync + 'static,
+    {
+        let f = std::sync::Arc::new(f);
+        Self::spawn_each(
+            (0..n)
+                .map(|p| {
+                    let f = std::sync::Arc::clone(&f);
+                    Box::new(move |api: FiberApi<Req, Resp>| f(p, api)) as FiberBody<Req, Resp>
+                })
+                .collect(),
+        )
+    }
+
+    /// Spawns one fiber per closure (closures may capture distinct state).
+    ///
+    /// Blocks until every fiber has either issued its first request or
+    /// finished.
+    pub fn spawn_each(bodies: Vec<FiberBody<Req, Resp>>) -> Self {
+        let mut slots = Vec::with_capacity(bodies.len());
+        for (p, body) in bodies.into_iter().enumerate() {
+            // Request bound of 1: the fiber can park its next request without
+            // waiting for the engine to rendezvous, halving context switches.
+            let (req_tx, req_rx) = sync_channel::<Req>(1);
+            let (resp_tx, resp_rx) = sync_channel::<Resp>(1);
+            let handle = std::thread::Builder::new()
+                .name(format!("fiber-{p}"))
+                .spawn(move || body(FiberApi { req_tx, resp_rx }))
+                .expect("failed to spawn fiber thread");
+            slots.push(Slot {
+                resp_tx,
+                req_rx,
+                state: SlotState::AwaitingReply, // placeholder until first recv below
+                handle: Some(handle),
+            });
+        }
+        let mut pool = FiberPool { slots };
+        for p in 0..pool.slots.len() {
+            pool.refill(p as u32);
+        }
+        pool
+    }
+
+    /// Blocks until fiber `p` produces its next request or finishes, then
+    /// records the outcome. Propagates the fiber's panic, if any.
+    fn refill(&mut self, p: u32) {
+        let slot = &mut self.slots[p as usize];
+        match slot.req_rx.recv() {
+            Ok(req) => slot.state = SlotState::Pending(req),
+            Err(_) => {
+                slot.state = SlotState::Finished;
+                if let Some(handle) = slot.handle.take() {
+                    if let Err(panic) = handle.join() {
+                        std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of fibers in the pool (live or finished).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the pool has no fibers at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of fibers that have not yet finished.
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| !matches!(s.state, SlotState::Finished)).count()
+    }
+
+    /// Whether fiber `p` has finished.
+    pub fn is_finished(&self, p: u32) -> bool {
+        matches!(self.slots[p as usize].state, SlotState::Finished)
+    }
+
+    /// The buffered pending request of fiber `p`, if it has one.
+    pub fn peek_request(&self, p: u32) -> Option<&Req> {
+        match &self.slots[p as usize].state {
+            SlotState::Pending(req) => Some(req),
+            _ => None,
+        }
+    }
+
+    /// Takes fiber `p`'s pending request, moving it to `AwaitingReply`.
+    ///
+    /// Returns `None` if the fiber has finished or its request was already
+    /// taken.
+    pub fn take_request(&mut self, p: u32) -> Option<Req> {
+        let slot = &mut self.slots[p as usize];
+        match std::mem::replace(&mut slot.state, SlotState::AwaitingReply) {
+            SlotState::Pending(req) => Some(req),
+            other => {
+                slot.state = other;
+                None
+            }
+        }
+    }
+
+    /// Replies to fiber `p` (which must be `AwaitingReply`) and blocks until
+    /// it produces its next request or finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` was not awaiting a reply, or propagates the fiber's own
+    /// panic.
+    pub fn resume(&mut self, p: u32, resp: Resp) -> Resumed {
+        let slot = &mut self.slots[p as usize];
+        assert!(
+            matches!(slot.state, SlotState::AwaitingReply),
+            "fiber {p} resumed without a taken request"
+        );
+        slot.resp_tx.send(resp).expect("fiber thread died while awaiting reply");
+        self.refill(p);
+        if self.is_finished(p) {
+            Resumed::Finished
+        } else {
+            Resumed::HasRequest
+        }
+    }
+
+    /// Joins all fiber threads, propagating the first panic encountered.
+    ///
+    /// All fibers must already be finished; call only after the simulation
+    /// has drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some fiber is still live, or re-raises a fiber panic.
+    pub fn join(mut self) {
+        for (p, slot) in self.slots.iter().enumerate() {
+            assert!(
+                matches!(slot.state, SlotState::Finished),
+                "join() called while fiber {p} is still live"
+            );
+        }
+        for slot in &mut self.slots {
+            if let Some(handle) = slot.handle.take() {
+                if let Err(panic) = handle.join() {
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    }
+}
+
+impl<Req, Resp> Drop for FiberPool<Req, Resp> {
+    fn drop(&mut self) {
+        // Dropping the response senders unblocks any fiber stuck in `call`
+        // (its recv fails and the fiber thread unwinds). Detach the threads;
+        // their panics are confined to themselves.
+        for slot in &mut self.slots {
+            drop(slot.handle.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Engine that services all fibers round-robin until done.
+    fn drain(mut pool: FiberPool<u64, u64>, f: impl Fn(u64) -> u64) {
+        loop {
+            let mut progressed = false;
+            for p in 0..pool.len() as u32 {
+                if let Some(req) = pool.take_request(p) {
+                    progressed = true;
+                    pool.resume(p, f(req));
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        pool.join();
+    }
+
+    #[test]
+    fn echo_engine_round_trips() {
+        let pool = FiberPool::<u64, u64>::spawn(4, |pid, mut api| {
+            for i in 0..10u64 {
+                let got = api.call(pid as u64 * 100 + i);
+                assert_eq!(got, (pid as u64 * 100 + i) + 1);
+            }
+        });
+        drain(pool, |x| x + 1);
+    }
+
+    #[test]
+    fn fibers_may_finish_without_calling() {
+        let pool = FiberPool::<u64, u64>::spawn(3, |pid, mut api| {
+            if pid == 1 {
+                return; // finishes immediately
+            }
+            api.call(0);
+        });
+        assert!(pool.is_finished(1));
+        assert_eq!(pool.live_count(), 2);
+        drain(pool, |x| x);
+    }
+
+    #[test]
+    fn deferred_reply_models_a_stall() {
+        // Fiber 0 issues a request whose reply is withheld until fiber 1 has
+        // advanced — the shape of a remote miss serviced by another proc.
+        let pool = FiberPool::<u64, u64>::spawn(2, |pid, mut api| {
+            if pid == 0 {
+                assert_eq!(api.call(7), 99);
+            } else {
+                assert_eq!(api.call(1), 2);
+            }
+        });
+        let mut pool = pool;
+        let stall_req = pool.take_request(0).unwrap();
+        assert_eq!(stall_req, 7);
+        // Service fiber 1 first.
+        let r1 = pool.take_request(1).unwrap();
+        assert_eq!(pool.resume(1, r1 + 1), Resumed::Finished);
+        // Now release fiber 0.
+        assert_eq!(pool.resume(0, 99), Resumed::Finished);
+        pool.join();
+    }
+
+    #[test]
+    fn spawn_each_with_distinct_state() {
+        let bodies: Vec<FiberBody<u64, u64>> = (0..3u64)
+            .map(|seed| {
+                Box::new(move |mut api: FiberApi<u64, u64>| {
+                    assert_eq!(api.call(seed), seed * 2);
+                }) as FiberBody<u64, u64>
+            })
+            .collect();
+        let mut pool = FiberPool::spawn_each(bodies);
+        for p in 0..3 {
+            let req = pool.take_request(p).unwrap();
+            pool.resume(p, req * 2);
+        }
+        pool.join();
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut pool = FiberPool::<u64, u64>::spawn(1, |_, mut api| {
+            api.call(5);
+        });
+        assert_eq!(pool.peek_request(0), Some(&5));
+        assert_eq!(pool.peek_request(0), Some(&5));
+        let req = pool.take_request(0).unwrap();
+        assert_eq!(req, 5);
+        assert_eq!(pool.peek_request(0), None);
+        pool.resume(0, 0);
+        pool.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn fiber_panic_propagates_to_engine() {
+        let mut pool = FiberPool::<u64, u64>::spawn(1, |_, mut api| {
+            api.call(1);
+            panic!("boom");
+        });
+        let req = pool.take_request(0).unwrap();
+        pool.resume(0, req); // refill observes the panic and re-raises
+    }
+
+    #[test]
+    #[should_panic(expected = "still live")]
+    fn join_rejects_live_fibers() {
+        let pool = FiberPool::<u64, u64>::spawn(1, |_, mut api| {
+            api.call(1);
+        });
+        pool.join();
+    }
+
+    #[test]
+    fn drop_unblocks_live_fibers_without_hanging() {
+        let pool = FiberPool::<u64, u64>::spawn(2, |_, mut api| {
+            api.call(1);
+            // Never replied-to; drop must unblock us.
+            api.call(2);
+        });
+        drop(pool); // must not hang or abort
+    }
+}

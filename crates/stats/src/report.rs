@@ -1,0 +1,177 @@
+//! Text rendering of paper-style tables and figure series.
+//!
+//! The experiment binaries in `shasta-bench` print their results through
+//! [`Table`], which right-aligns numeric columns the way the paper's tables
+//! read, and through small helpers for normalized stacked-bar data
+//! (Figures 4–8 are rendered as rows of percentages).
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use shasta_stats::Table;
+///
+/// let mut t = Table::new(vec!["app", "seq time", "overhead"]);
+/// t.row(vec!["LU".to_string(), "27.06s".to_string(), "21.3%".to_string()]);
+/// t.row(vec!["Ocean".to_string(), "11.07s".to_string(), "18.7%".to_string()]);
+/// let s = t.to_string();
+/// assert!(s.contains("LU"));
+/// assert_eq!(s.lines().count(), 4); // header + rule + 2 rows
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than there are headers.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        // First column left-aligned (names), the rest right-aligned (numbers).
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{:<w$}", cell, w = widths[i])?;
+                } else {
+                    write!(f, "{:>w$}", cell, w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule_len = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `"21.3%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a cycle count as seconds at the given clock rate, e.g. `"27.06s"`.
+pub fn cycles_as_secs(cycles: u64, cpu_mhz: u64) -> String {
+    format!("{:.2}s", cycles as f64 / (cpu_mhz as f64 * 1e6))
+}
+
+/// Formats a speedup with two decimals, e.g. `"8.80"`.
+pub fn speedup(seq_cycles: u64, par_cycles: u64) -> String {
+    if par_cycles == 0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", seq_cycles as f64 / par_cycles as f64)
+    }
+}
+
+/// Renders a normalized stacked bar as `label: total% [seg1 seg2 …]`, the
+/// textual analogue of one bar in Figures 4–7.
+pub fn stacked_bar(label: &str, segments: &[(&str, f64)]) -> String {
+    use fmt::Write as _;
+    let total: f64 = segments.iter().map(|(_, v)| v).sum();
+    let mut out = String::new();
+    let _ = write!(out, "{label:<10} {:>6.1}% |", total * 100.0);
+    for (name, v) in segments {
+        let _ = write!(out, " {name}={:.1}%", v * 100.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal width for the numeric column (right aligned).
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        let s = t.to_string();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 3 cells")]
+    fn long_rows_panic() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.213), "21.3%");
+        assert_eq!(cycles_as_secs(300_000_000, 300), "1.00s");
+        assert_eq!(speedup(100, 25), "4.00");
+        assert_eq!(speedup(100, 0), "inf");
+    }
+
+    #[test]
+    fn stacked_bar_renders_segments() {
+        let s = stacked_bar("C4", &[("task", 0.5), ("read", 0.25)]);
+        assert!(s.contains("task=50.0%"));
+        assert!(s.contains("read=25.0%"));
+        assert!(s.contains("75.0%"));
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's §5 future-work list, implemented and measured: sharing
+//! directory state among a node's processors, and load-balancing incoming
+//! home requests through a shared per-node queue.
+//!
+//! Run with: `cargo run --release --example future_work`
+
+use shasta::apps::{registry, run_app, Preset, Proto, RunConfig};
+use shasta::stats::MsgClass;
+
+fn main() {
+    println!("SMP-Shasta (16 processors, clustering 4) with the paper's future work\n");
+    println!(
+        "{:<12} {:>8} {:>11} {:>12} {:>10} {:>9}",
+        "app", "paper", "+shared dir", "dir lookups", "+load bal", "lb reqs"
+    );
+    for name in ["Ocean", "LU", "Water-Nsq", "FMM"] {
+        let spec = registry().into_iter().find(|s| s.name == name).expect("registered");
+        let app = (spec.build)(Preset::Default, false);
+        let seq = run_app(app.as_ref(), &RunConfig::new(Proto::Sequential, 1, 1)).elapsed_cycles;
+        let plain = run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 16, 4));
+        let sd = run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 16, 4).share_directory());
+        let lb = run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 16, 4).load_balance());
+        println!(
+            "{:<12} {:>8.2} {:>11.2} {:>12} {:>10.2} {:>9}",
+            name,
+            seq as f64 / plain.elapsed_cycles as f64,
+            seq as f64 / sd.elapsed_cycles as f64,
+            sd.shared_dir_lookups,
+            seq as f64 / lb.elapsed_cycles as f64,
+            lb.load_balanced_requests,
+        );
+    }
+    println!();
+    let spec = registry().into_iter().find(|s| s.name == "Ocean").unwrap();
+    let app = (spec.build)(Preset::Default, false);
+    let plain = run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 16, 4));
+    let sd = run_app(app.as_ref(), &RunConfig::new(Proto::Smp, 16, 4).share_directory());
+    println!(
+        "Ocean local messages: {} -> {} with the shared directory",
+        plain.messages.count(MsgClass::Local),
+        sd.messages.count(MsgClass::Local),
+    );
+    println!("(the paper, §5: \"we plan to exploit benefits that may arise from sharing");
+    println!(" more data structures among local processors, such as the directory state");
+    println!(" or incoming message queues\")");
+}

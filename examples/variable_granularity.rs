@@ -1,0 +1,30 @@
+//! Shasta's signature feature: per-allocation coherence granularity.
+//! LU-Contig's 2 KB matrix blocks move in one miss instead of 32, Table 2's
+//! headline win (4.5 → 8.8 at 16 processors in the paper).
+//!
+//! Run with: `cargo run --release --example variable_granularity`
+
+use shasta::apps::{registry, run_app, Preset, Proto, RunConfig};
+
+fn main() {
+    println!("Table 2 in miniature: 16-processor Base-Shasta speedups\n");
+    println!("{:<12} {:>12} {:>12} {:>9} -> {:>9}", "app", "64B blocks", "hinted", "misses", "misses");
+    for name in ["LU", "LU-Contig", "Water-Nsq", "Volrend"] {
+        let spec = registry().into_iter().find(|s| s.name == name).expect("registered");
+        let app = (spec.build)(Preset::Default, false);
+        let seq = run_app(app.as_ref(), &RunConfig::new(Proto::Sequential, 1, 1)).elapsed_cycles;
+        let fine = run_app(app.as_ref(), &RunConfig::new(Proto::Base, 16, 1));
+        let coarse =
+            run_app(app.as_ref(), &RunConfig::new(Proto::Base, 16, 1).variable_granularity());
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>9} -> {:>9}",
+            name,
+            seq as f64 / fine.elapsed_cycles as f64,
+            seq as f64 / coarse.elapsed_cycles as f64,
+            fine.misses.total(),
+            coarse.misses.total(),
+        );
+    }
+    println!("\nLarger blocks amortize the fixed per-miss protocol cost over more");
+    println!("data, as long as the data structure is not write-shared at fine grain.");
+}
