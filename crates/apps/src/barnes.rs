@@ -59,13 +59,7 @@ impl Tree {
             Body(usize),
             Cell { children: Box<[Node; 8]>, com: [f64; 3], mass: f64 },
         }
-        fn insert(
-            node: Node,
-            b: usize,
-            pos: &[[f64; 3]],
-            center: [f64; 3],
-            half: f64,
-        ) -> Node {
+        fn insert(node: Node, b: usize, pos: &[[f64; 3]], center: [f64; 3], half: f64) -> Node {
             match node {
                 Node::Empty => Node::Body(b),
                 Node::Body(other) => {
@@ -98,8 +92,13 @@ impl Tree {
                             c[d] -= half / 2.0;
                         }
                     }
-                    children[idx] =
-                        insert(std::mem::replace(&mut children[idx], Node::Empty), b, pos, c, half / 2.0);
+                    children[idx] = insert(
+                        std::mem::replace(&mut children[idx], Node::Empty),
+                        b,
+                        pos,
+                        c,
+                        half / 2.0,
+                    );
                     Node::Cell { children, com, mass }
                 }
             }
@@ -285,7 +284,11 @@ impl DsmApp for Barnes {
         let steps = self.steps;
         let procs = opts.procs;
         // Table 2: cell and leaf (body) arrays at 512-byte granularity.
-        let hint = if opts.variable_granularity || self.vg { BlockHint::Bytes(512) } else { BlockHint::Line };
+        let hint = if opts.variable_granularity || self.vg {
+            BlockHint::Bytes(512)
+        } else {
+            BlockHint::Line
+        };
         let bodies_addr = s.malloc(BODY_BYTES * n as u64, hint, HomeHint::RoundRobin);
         let max_cells = 4 * n + 8;
         let cells_addr = s.malloc(CELL_BYTES * max_cells as u64, hint, HomeHint::RoundRobin);

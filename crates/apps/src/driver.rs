@@ -194,18 +194,14 @@ pub fn run_app(app: &dyn DsmApp, cfg: &RunConfig) -> RunStats {
     }
     if proto_cfg.check.enabled {
         let (base_pm, smp_pm) = app.check_permille();
-        proto_cfg.check.per_compute_permille =
-            match proto_cfg.check.flavor {
-                shasta_core::check::CheckFlavor::Base => base_pm,
-                shasta_core::check::CheckFlavor::Smp => smp_pm,
-            };
+        proto_cfg.check.per_compute_permille = match proto_cfg.check.flavor {
+            shasta_core::check::CheckFlavor::Base => base_pm,
+            shasta_core::check::CheckFlavor::Smp => smp_pm,
+        };
     }
     let mut machine = Machine::new(topo, cfg.cost.clone(), proto_cfg, app.heap_bytes());
-    let opts = PlanOpts {
-        procs,
-        variable_granularity: cfg.variable_granularity,
-        validate: cfg.validate,
-    };
+    let opts =
+        PlanOpts { procs, variable_granularity: cfg.variable_granularity, validate: cfg.validate };
     let bodies = machine.setup(|s| app.plan(s, &opts));
     machine.run(bodies)
 }
@@ -301,10 +297,7 @@ pub(crate) fn assert_close(name: &str, got: &[f64], want: &[f64], tol: f64) {
     assert_eq!(got.len(), want.len(), "{name}: result length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
         let scale = w.abs().max(1.0);
-        assert!(
-            (g - w).abs() <= tol * scale,
-            "{name}: element {i} diverged: got {g}, want {w}"
-        );
+        assert!((g - w).abs() <= tol * scale, "{name}: element {i} diverged: got {g}, want {w}");
     }
 }
 

@@ -171,8 +171,11 @@ impl DsmApp for Fmm {
         // box's owner (home placement).
         let owner_of_box = |b: usize| chunk_owner(nb, procs, b);
         // Table 2: box array at 256-byte granularity.
-        let box_hint =
-            if opts.variable_granularity || self.vg { BlockHint::Bytes(256) } else { BlockHint::Line };
+        let box_hint = if opts.variable_granularity || self.vg {
+            BlockHint::Bytes(256)
+        } else {
+            BlockHint::Line
+        };
         let boxes_addr = s.malloc(BOX_BYTES * nb as u64, box_hint, HomeHint::RoundRobin);
         // Particle segments: one allocation per owner.
         let mut part_addr = vec![0u64; n]; // by sorted position
@@ -247,10 +250,8 @@ impl DsmApp for Fmm {
                         std::collections::HashMap::new();
                     for b in my_boxes.clone() {
                         let neigh = app.neighbors(b);
-                        let centre = [
-                            ((b / g) as f64 + 0.5) / g as f64,
-                            ((b % g) as f64 + 0.5) / g as f64,
-                        ];
+                        let centre =
+                            [((b / g) as f64 + 0.5) / g as f64, ((b % g) as f64 + 0.5) / g as f64];
                         let mut local = 0.0;
                         for fb in 0..nb {
                             if neigh.contains(&fb) {

@@ -43,4 +43,6 @@ pub mod taskq;
 pub mod volrend;
 pub mod water;
 
-pub use driver::{registry, run_app, sequential_cycles, AppSpec, Body, DsmApp, PlanOpts, Preset, Proto, RunConfig};
+pub use driver::{
+    registry, run_app, sequential_cycles, AppSpec, Body, DsmApp, PlanOpts, Preset, Proto, RunConfig,
+};

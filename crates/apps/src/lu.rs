@@ -188,7 +188,14 @@ fn gemm_sub(aij: &mut [f64], lik: &[f64], ukj: &[f64], b: usize) {
 }
 
 /// Reads block `(bi, bj)` through the DSM.
-fn read_block(dsm: &mut Dsm, layout: &Layout, n: usize, b: usize, bi: usize, bj: usize) -> Vec<f64> {
+fn read_block(
+    dsm: &mut Dsm,
+    layout: &Layout,
+    n: usize,
+    b: usize,
+    bi: usize,
+    bj: usize,
+) -> Vec<f64> {
     match layout {
         Layout::RowMajor { base } => {
             let mut out = Vec::with_capacity(b * b);
@@ -206,7 +213,15 @@ fn read_block(dsm: &mut Dsm, layout: &Layout, n: usize, b: usize, bi: usize, bj:
 }
 
 /// Writes block `(bi, bj)` through the DSM.
-fn write_block(dsm: &mut Dsm, layout: &Layout, n: usize, b: usize, bi: usize, bj: usize, blk: &[f64]) {
+fn write_block(
+    dsm: &mut Dsm,
+    layout: &Layout,
+    n: usize,
+    b: usize,
+    bi: usize,
+    bj: usize,
+    blk: &[f64],
+) {
     match layout {
         Layout::RowMajor { base } => {
             for r in 0..b {
@@ -255,11 +270,7 @@ impl DsmApp for Lu {
         // Table 2 hints: LU 128-byte blocks; LU-Contig whole 2 KB blocks.
         let use_vg = opts.variable_granularity || self.vg_hint;
         let layout = if self.contig {
-            let hint = if use_vg {
-                BlockHint::Bytes((b * b * 8) as u64)
-            } else {
-                BlockHint::Line
-            };
+            let hint = if use_vg { BlockHint::Bytes((b * b * 8) as u64) } else { BlockHint::Line };
             let mut blocks = Vec::with_capacity(nb * nb);
             for bi in 0..nb {
                 for bj in 0..nb {

@@ -107,11 +107,8 @@ impl DsmApp for Ocean {
             if band.is_empty() {
                 continue;
             }
-            let base = s.malloc(
-                row_bytes * band.len() as u64,
-                BlockHint::Line,
-                HomeHint::Explicit(p),
-            );
+            let base =
+                s.malloc(row_bytes * band.len() as u64, BlockHint::Line, HomeHint::Explicit(p));
             for (i, &r) in band.iter().enumerate() {
                 row_addr[r] = base + i as u64 * row_bytes;
                 s.write_f64s(row_addr[r], &self.init[r * n..(r + 1) * n]);
@@ -183,9 +180,8 @@ mod tests {
         let n = o.n;
         // Interior variance decreases under relaxation.
         let var = |g: &[f64]| {
-            let vals: Vec<f64> = (1..n - 1)
-                .flat_map(|r| (1..n - 1).map(move |c| g[r * n + c]))
-                .collect();
+            let vals: Vec<f64> =
+                (1..n - 1).flat_map(|r| (1..n - 1).map(move |c| g[r * n + c])).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
             vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64
         };

@@ -115,11 +115,8 @@ impl DsmApp for Raytrace {
     fn plan(&self, s: &mut SetupCtx<'_>, opts: &PlanOpts) -> Vec<Body> {
         let (w, h) = (self.width, self.height);
         let procs = opts.procs;
-        let scene_addr = s.malloc(
-            SPH_BYTES * self.spheres.len() as u64,
-            BlockHint::Line,
-            HomeHint::Explicit(0),
-        );
+        let scene_addr =
+            s.malloc(SPH_BYTES * self.spheres.len() as u64, BlockHint::Line, HomeHint::Explicit(0));
         for (i, sp) in self.spheres.iter().enumerate() {
             let mut rec = [0.0f64; SPH_F64];
             rec[..5].copy_from_slice(sp);
@@ -143,11 +140,7 @@ impl DsmApp for Raytrace {
                         let v = dsm.read_f64s(scene_addr + i as u64 * SPH_BYTES, 5);
                         scene.push([v[0], v[1], v[2], v[3], v[4]]);
                     }
-                    let local = Raytrace {
-                        width: w,
-                        height: h,
-                        spheres: Arc::new(scene),
-                    };
+                    let local = Raytrace { width: w, height: h, spheres: Arc::new(scene) };
                     let tiles_x = w / TILE;
                     while let Some(task) = queues.next_task(&mut dsm, p) {
                         let (tx, ty) = ((task as usize) % tiles_x, (task as usize) / tiles_x);
@@ -159,10 +152,7 @@ impl DsmApp for Raytrace {
                                 *out = local.shade(tx * TILE + col, py, &mut tests);
                             }
                             dsm.compute(HIT_CYCLES * tests);
-                            dsm.write_f64s(
-                                image_addr + ((py * w + tx * TILE) * 8) as u64,
-                                &line,
-                            );
+                            dsm.write_f64s(image_addr + ((py * w + tx * TILE) * 8) as u64, &line);
                         }
                     }
                     dsm.barrier(0);

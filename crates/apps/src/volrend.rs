@@ -55,7 +55,8 @@ impl Volrend {
                     let p = [x as f64 / g as f64, y as f64 / g as f64, z as f64 / g as f64];
                     let mut v = 0.0;
                     for b in &bumps {
-                        let d2 = (p[0] - b[0]).powi(2) + (p[1] - b[1]).powi(2) + (p[2] - b[2]).powi(2);
+                        let d2 =
+                            (p[0] - b[0]).powi(2) + (p[1] - b[1]).powi(2) + (p[2] - b[2]).powi(2);
                         v += (-d2 * 30.0).exp();
                     }
                     volume[(z * g + y) * g + x] = (v.min(1.0) * 255.0) as u8;
@@ -128,8 +129,11 @@ impl DsmApp for Volrend {
         let procs = opts.procs;
         let vol_bytes = (g * g * g) as u64;
         // Table 2: opacity and normal (shading) maps at 1024-byte blocks.
-        let map_hint =
-            if opts.variable_granularity || self.vg { BlockHint::Bytes(1_024) } else { BlockHint::Line };
+        let map_hint = if opts.variable_granularity || self.vg {
+            BlockHint::Bytes(1_024)
+        } else {
+            BlockHint::Line
+        };
         let vol_addr = s.malloc(vol_bytes, BlockHint::Line, HomeHint::RoundRobin);
         s.write(vol_addr, &self.volume);
         let opac_addr = s.malloc(256 * 8, map_hint, HomeHint::Explicit(0));
@@ -185,7 +189,9 @@ impl DsmApp for Volrend {
                         if let Some(expected) = expected {
                             let mut got = Vec::with_capacity(img * img);
                             for py in 0..img {
-                                got.extend(dsm.read_f64s(image_addr + ((py * img) * 8) as u64, img));
+                                got.extend(
+                                    dsm.read_f64s(image_addr + ((py * img) * 8) as u64, img),
+                                );
                             }
                             crate::driver::assert_close("Volrend", &got, &expected, 1e-12);
                         }

@@ -73,9 +73,8 @@ impl WaterCommon {
             }
         };
         let mut rng = shasta_sim::SplitMix64::new(0x3A7E5 + n as u64);
-        let pos: Vec<[f64; 3]> = (0..n)
-            .map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64()])
-            .collect();
+        let pos: Vec<[f64; 3]> =
+            (0..n).map(|_| [rng.next_f64(), rng.next_f64(), rng.next_f64()]).collect();
         WaterCommon { n, steps, pos: Arc::new(pos), spatial, g }
     }
 
@@ -360,7 +359,8 @@ mod tests {
             // Cells of the pair are neighbours.
             let (ci, cj) = (w.cell_of(w.pos[i]), w.cell_of(w.pos[j]));
             let g = w.g;
-            let coords = |c: usize| ((c / (g * g)) as isize, ((c / g) % g) as isize, (c % g) as isize);
+            let coords =
+                |c: usize| ((c / (g * g)) as isize, ((c / g) % g) as isize, (c % g) as isize);
             let (a, b) = (coords(ci), coords(cj));
             assert!((a.0 - b.0).abs() <= 1 && (a.1 - b.1).abs() <= 1 && (a.2 - b.2).abs() <= 1);
         }

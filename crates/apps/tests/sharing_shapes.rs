@@ -38,7 +38,8 @@ fn lu_sees_three_hop_misses() {
 #[test]
 fn lu_contig_reads_dominate() {
     let st = run("LU-Contig", &RunConfig::new(Proto::Base, 8, 1));
-    let reads = st.misses.get(MissKind::Read, Hops::Two) + st.misses.get(MissKind::Read, Hops::Three);
+    let reads =
+        st.misses.get(MissKind::Read, Hops::Two) + st.misses.get(MissKind::Read, Hops::Three);
     let upgrades =
         st.misses.get(MissKind::Upgrade, Hops::Two) + st.misses.get(MissKind::Upgrade, Hops::Three);
     assert!(reads > upgrades, "panel reads dominate ({reads} reads vs {upgrades} upgrades)");

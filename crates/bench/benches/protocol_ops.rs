@@ -19,7 +19,12 @@ fn machine(procs: u32, clustering: u32, cfg: ProtocolConfig) -> (Machine, u64) {
     (m, a)
 }
 
-fn run(procs: u32, clustering: u32, cfg: ProtocolConfig, f: impl Fn(u32, &mut Dsm) + Send + Sync + Clone + 'static) {
+fn run(
+    procs: u32,
+    clustering: u32,
+    cfg: ProtocolConfig,
+    f: impl Fn(u32, &mut Dsm) + Send + Sync + Clone + 'static,
+) {
     let (mut m, a) = machine(procs, clustering, cfg);
     let bodies: Vec<Body> = (0..procs)
         .map(|p| {

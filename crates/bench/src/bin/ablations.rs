@@ -55,7 +55,9 @@ fn run_app_with(
 
 fn main() {
     let preset = preset_from_args();
-    println!("Design-decision ablations, SMP-Shasta 16 processors clustering 4 ({preset:?} inputs)\n");
+    println!(
+        "Design-decision ablations, SMP-Shasta 16 processors clustering 4 ({preset:?} inputs)\n"
+    );
     let mut t = Table::new(vec![
         "app",
         "paper design",

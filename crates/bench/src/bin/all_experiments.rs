@@ -22,11 +22,8 @@ const EXPERIMENTS: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     std::fs::create_dir_all("results").expect("create results dir");
     for name in EXPERIMENTS {
         eprintln!("== running {name} ==");
@@ -34,15 +31,10 @@ fn main() {
             .args(&args)
             .output()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        assert!(
-            out.status.success(),
-            "{name} failed:\n{}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "{name} failed:\n{}", String::from_utf8_lossy(&out.stderr));
         let text = String::from_utf8_lossy(&out.stdout);
         println!("{text}");
-        std::fs::write(format!("results/{name}.txt"), text.as_bytes())
-            .expect("write result file");
+        std::fs::write(format!("results/{name}.txt"), text.as_bytes()).expect("write result file");
     }
     eprintln!("all experiments complete; outputs in results/");
 }

@@ -17,12 +17,7 @@ fn main() {
         let smp = run(&spec, preset, Proto::Smp, 4, 4, false).elapsed_cycles;
         sum += smp as f64 / hw as f64 - 1.0;
         n += 1;
-        t.row(vec![
-            spec.name.to_string(),
-            secs(hw),
-            secs(smp),
-            overhead(smp, hw),
-        ]);
+        t.row(vec![spec.name.to_string(), secs(hw), secs(smp), overhead(smp, hw)]);
     }
     println!("{t}");
     println!("average slowdown: {:.1}%   (paper: 12.7%)", sum / n as f64 * 100.0);

@@ -7,7 +7,9 @@ use shasta_bench::{breakdown_bar, preset_from_args, run};
 
 fn main() {
     let preset = preset_from_args();
-    println!("Figure 4: execution-time breakdowns, normalized to Base-Shasta ({preset:?} inputs)\n");
+    println!(
+        "Figure 4: execution-time breakdowns, normalized to Base-Shasta ({preset:?} inputs)\n"
+    );
     for procs in [8u32, 16] {
         println!("=== {procs}-processor runs ===");
         for spec in registry() {

@@ -7,7 +7,9 @@ use shasta_stats::Table;
 
 fn main() {
     let preset = preset_from_args();
-    println!("Figure 8: downgrade-message distribution, SMP-Shasta clustering 4 ({preset:?} inputs)\n");
+    println!(
+        "Figure 8: downgrade-message distribution, SMP-Shasta clustering 4 ({preset:?} inputs)\n"
+    );
     for procs in [8u32, 16] {
         println!("=== {procs}-processor runs ===");
         let mut t =

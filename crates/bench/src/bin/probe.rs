@@ -14,7 +14,12 @@ fn main() {
     let app = (spec.build)(preset, false);
     let t0 = Instant::now();
     let seq = run_app(app.as_ref(), &RunConfig::new(Proto::Sequential, 1, 1));
-    println!("seq: {} cycles ({:.2}s sim) wall {:?}", seq.elapsed_cycles, seq.elapsed_cycles as f64/300e6, t0.elapsed());
+    println!(
+        "seq: {} cycles ({:.2}s sim) wall {:?}",
+        seq.elapsed_cycles,
+        seq.elapsed_cycles as f64 / 300e6,
+        t0.elapsed()
+    );
     for (proto, procs, clus, label) in [
         (Proto::CheckedSeqBase, 1, 1, "base-checks-1p"),
         (Proto::CheckedSeqSmp, 1, 1, "smp-checks-1p"),
@@ -30,7 +35,10 @@ fn main() {
         let sp = seq.elapsed_cycles as f64 / st.elapsed_cycles as f64;
         println!(
             "{label:>16}: speedup {sp:5.2}  misses {:6}  msgs {:7} dg {:5} wall {:?}",
-            st.misses.total(), st.messages.total(), st.downgrades.total(), t0.elapsed()
+            st.misses.total(),
+            st.messages.total(),
+            st.downgrades.total(),
+            t0.elapsed()
         );
     }
 }

@@ -17,7 +17,8 @@ fn main() {
         ("Volrend", "opacity, normal maps", "1024"),
         ("Water-Nsq", "molecule array", "2048"),
     ];
-    let mut t = Table::new(vec!["app", "data structure(s)", "block bytes", "default 64B", "specified"]);
+    let mut t =
+        Table::new(vec!["app", "data structure(s)", "block bytes", "default 64B", "specified"]);
     for spec in apps_for(true, false) {
         let (_, structures, bytes) = hints
             .iter()

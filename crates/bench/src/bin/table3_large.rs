@@ -8,14 +8,7 @@ use shasta_stats::Table;
 fn main() {
     let preset = Preset::Large;
     println!("Table 3: larger problem sizes (64-byte lines)\n");
-    let mut t = Table::new(vec![
-        "app",
-        "sequential",
-        "Base ovh",
-        "SMP ovh",
-        "Base 16p",
-        "SMP 16p",
-    ]);
+    let mut t = Table::new(vec!["app", "sequential", "Base ovh", "SMP ovh", "Base 16p", "SMP 16p"]);
     for spec in apps_for(false, true) {
         let seq = seq_cycles(&spec, preset);
         let base1 = run(&spec, preset, Proto::CheckedSeqBase, 1, 1, false).elapsed_cycles;

@@ -1,0 +1,110 @@
+//! Seed-sweep driver: explores seeded schedules over the default scenarios
+//! with coherence oracles enabled, then validates the oracles against the
+//! deliberately broken protocol variants.
+//!
+//! ```text
+//! check [--seeds N] [--skip-validation] [--quiet]
+//! ```
+//!
+//! Exit status: 0 when the correct protocol passes every schedule AND the
+//! broken variants are caught; 1 otherwise.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use shasta_check::{default_scenarios, sweep, validate_oracles};
+use shasta_core::BugInjection;
+
+fn main() -> ExitCode {
+    let mut seeds: u64 = 170;
+    let mut validate = true;
+    let mut quiet = false;
+    let mut only: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = args.next().unwrap_or_default();
+                seeds = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seeds expects a number, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--skip-validation" => validate = false,
+            "--quiet" => quiet = true,
+            "--only" => only = Some(args.next().unwrap_or_default()),
+            "--help" | "-h" => {
+                println!(
+                    "usage: check [--seeds N] [--only NAME-SUBSTR] [--skip-validation] [--quiet]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut scenarios = default_scenarios();
+    if let Some(f) = &only {
+        scenarios.retain(|s| s.name.contains(f.as_str()));
+        if scenarios.is_empty() {
+            eprintln!("--only {f:?} matched no scenario");
+            return ExitCode::from(2);
+        }
+    }
+    let start = Instant::now();
+    let report = sweep(&scenarios, 0..seeds, BugInjection::None, 8);
+    let elapsed = start.elapsed();
+    if !quiet {
+        println!(
+            "swept {} schedules ({} seeds x {} scenarios x 2 policies) in {:.1?}",
+            report.runs,
+            seeds,
+            scenarios.len(),
+            elapsed
+        );
+    }
+    let mut ok = true;
+    if report.failures.is_empty() {
+        if !quiet {
+            println!("correct protocol: all oracles passed");
+        }
+    } else {
+        ok = false;
+        println!("correct protocol FAILED {} schedule(s):", report.failures.len());
+        for cx in &report.failures {
+            println!("{cx}");
+        }
+    }
+
+    if validate {
+        match validate_oracles(&scenarios, seeds.max(8)) {
+            Ok(caught) => {
+                for cx in &caught {
+                    if !quiet {
+                        println!(
+                            "oracle validation: {:?} caught (shrunk to {} rounds)",
+                            cx.bug, cx.scenario.iters
+                        );
+                        println!("{cx}");
+                    }
+                }
+                if !quiet {
+                    println!("oracle validation: every injected bug was caught");
+                }
+            }
+            Err(e) => {
+                ok = false;
+                println!("{e}");
+            }
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,486 @@
+#![warn(missing_docs)]
+
+//! # shasta-check — schedule-exploration checker
+//!
+//! Turns the deterministic simulator into a model checker: small
+//! data-race-free kernels run on small cluster topologies under seeded
+//! schedule perturbation ([`SchedulePolicy::SeededRandom`] tie-breaking and
+//! message-latency jitter, or [`SchedulePolicy::Chains`] priority
+//! schedules), with the coherence oracles of `shasta_core::oracle` enabled
+//! throughout. Every run is a deterministic function of `(scenario,
+//! policy)`, so a failure is a *replayable counterexample*: re-running the
+//! same pair reproduces the violation bit-exactly, and greedy shrinking
+//! reduces the kernel until the failure disappears, keeping the smallest
+//! failing run.
+//!
+//! The oracles are validated against deliberately broken protocol variants
+//! ([`BugInjection::SkipDowngradeWait`], [`BugInjection::DropPrivDowngrade`])
+//! which the sweep must catch; the correct protocol must pass every seed.
+//!
+//! Use the `check` binary for seed sweeps, or the library API:
+//!
+//! ```
+//! use shasta_check::{default_scenarios, run_checked};
+//! use shasta_core::BugInjection;
+//! use shasta_sim::SchedulePolicy;
+//!
+//! let scenario = default_scenarios()[0];
+//! let policy = SchedulePolicy::SeededRandom { seed: 7 };
+//! run_checked(&scenario, policy, BugInjection::None).expect("correct protocol passes");
+//! ```
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+use shasta_cluster::{CostModel, Topology};
+use shasta_core::space::{BlockHint, HomeHint};
+use shasta_core::{BugInjection, Dsm, Machine, Mode, ProtocolConfig};
+use shasta_sim::SchedulePolicy;
+use shasta_stats::RunStats;
+
+/// Shared-heap size for checker machines (small kernels, lots of headroom).
+const HEAP_BYTES: u64 = 1 << 20;
+
+/// Event-trace ring capacity for counterexample dumps.
+const TRACE_CAPACITY: usize = 512;
+
+/// A data-race-free kernel the checker can run. All four are DRF by
+/// construction (single-writer slots, barrier-separated phases, or
+/// lock-held critical sections), which is what makes the shadow-memory
+/// oracle sound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kernel {
+    /// Each processor increments its own 8-byte slot; adjacent slots share
+    /// a coherence block (false sharing), so every round forces
+    /// exclusive→shared and shared→invalid downgrades under concurrent
+    /// access — the Figure 2 races.
+    FalseSharing,
+    /// Barrier-free false sharing: each processor increments its own slot
+    /// with *no* intra-loop synchronization (disjoint words keep it DRF).
+    /// Unlike the phased kernels — where node mates are parked at a
+    /// barrier and drain downgrade messages before the next store — this
+    /// keeps stores in flight while downgrades are still crossing the
+    /// node, exercising the §3.4.3 window where a store is serviced on a
+    /// block in `PendingDgInvalid` and must be merged into the data the
+    /// last downgrader sends.
+    TightIncrement,
+    /// Slot ownership rotates every round: each round a different processor
+    /// writes each slot, migrating block ownership across nodes through
+    /// write misses, upgrades, and invalidations.
+    RotatingOwner,
+    /// A single lock-protected counter incremented by every processor —
+    /// lock handoff plus repeated upgrade/invalidate traffic on one block.
+    LockCounter,
+}
+
+/// One checkable configuration: a topology, a protocol mode, and a kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Human-readable identifier, printed in reports.
+    pub name: &'static str,
+    /// Total processors.
+    pub procs: u32,
+    /// Processors per physical SMP node.
+    pub per_node: u32,
+    /// Processors per virtual node (1 = Base-Shasta).
+    pub clustering: u32,
+    /// Protocol mode (must agree with `clustering`).
+    pub mode: Mode,
+    /// Kernel to run.
+    pub kernel: Kernel,
+    /// Rounds the kernel executes (the shrinking dimension).
+    pub iters: u32,
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} procs, {}/node, clustering {}, {:?}, {:?} x{})",
+            self.name,
+            self.procs,
+            self.per_node,
+            self.clustering,
+            self.mode,
+            self.kernel,
+            self.iters
+        )
+    }
+}
+
+/// The small-topology scenarios swept by default: two SMP-Shasta cluster
+/// shapes plus a Base-Shasta one, covering intra-node downgrades,
+/// cross-node migration, and the uncluttered base protocol.
+pub fn default_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "smp-2x2-false-sharing",
+            procs: 4,
+            per_node: 2,
+            clustering: 2,
+            mode: Mode::Smp,
+            kernel: Kernel::FalseSharing,
+            iters: 6,
+        },
+        Scenario {
+            name: "smp-2x2-tight-increment",
+            procs: 4,
+            per_node: 2,
+            clustering: 2,
+            mode: Mode::Smp,
+            kernel: Kernel::TightIncrement,
+            iters: 24,
+        },
+        Scenario {
+            name: "smp-4x2-rotating-owner",
+            procs: 8,
+            per_node: 4,
+            clustering: 4,
+            mode: Mode::Smp,
+            kernel: Kernel::RotatingOwner,
+            iters: 4,
+        },
+        Scenario {
+            name: "smp-2x2-lock-counter",
+            procs: 4,
+            per_node: 2,
+            clustering: 2,
+            mode: Mode::Smp,
+            kernel: Kernel::LockCounter,
+            iters: 8,
+        },
+        Scenario {
+            name: "base-4-false-sharing",
+            procs: 4,
+            per_node: 2,
+            clustering: 1,
+            mode: Mode::Base,
+            kernel: Kernel::FalseSharing,
+            iters: 6,
+        },
+    ]
+}
+
+/// A failing run: the `(scenario, policy)` pair replays it bit-exactly.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The (possibly shrunk) failing scenario.
+    pub scenario: Scenario,
+    /// The schedule policy — for seeded policies this carries the seed.
+    pub policy: SchedulePolicy,
+    /// Injected defect active during the run ([`BugInjection::None`] for a
+    /// genuine protocol bug).
+    pub bug: BugInjection,
+    /// The violation message, including the event-trace tail.
+    pub message: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counterexample: {}", self.scenario)?;
+        writeln!(f, "  policy: {:?}", self.policy)?;
+        if self.bug != BugInjection::None {
+            writeln!(f, "  injected bug: {:?}", self.bug)?;
+        }
+        writeln!(f, "  replay: run_checked(scenario, policy, bug)")?;
+        for line in self.message.lines() {
+            writeln!(f, "  | {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the machine for a scenario (shared by checked and unchecked runs).
+fn build_machine(s: &Scenario, policy: SchedulePolicy, bug: BugInjection, oracle: bool) -> Machine {
+    let topo = Topology::new(s.procs, s.per_node, s.clustering)
+        .unwrap_or_else(|e| panic!("bad scenario topology {s}: {e}"));
+    let cfg = match s.mode {
+        Mode::Smp => ProtocolConfig { bug, ..ProtocolConfig::smp() },
+        Mode::Base => ProtocolConfig { bug, ..ProtocolConfig::base() },
+        Mode::Hardware => ProtocolConfig { bug, ..ProtocolConfig::hardware() },
+    };
+    let mut m = Machine::new(topo, CostModel::alpha_4100(), cfg, HEAP_BYTES);
+    m.set_schedule_policy(policy);
+    if oracle {
+        m.enable_oracle();
+        m.enable_trace(TRACE_CAPACITY);
+        // Liveness budget, generously above any correct run of these sizes.
+        m.set_step_limit(100_000 + 50_000 * u64::from(s.procs) * u64::from(s.iters));
+    }
+    m
+}
+
+/// Runs a scenario to completion and returns its statistics. Panics on any
+/// oracle violation (callers wanting a [`Counterexample`] use
+/// [`run_checked`]).
+pub fn run_scenario(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+    oracle: bool,
+) -> RunStats {
+    run_scenario_inner(s, policy, bug, oracle).0
+}
+
+/// Like [`run_scenario`] with oracles on, but also returns the rendered
+/// event trace: equal traces across runs witness that the *schedule* —
+/// not merely the aggregate statistics — was reproduced.
+pub fn run_scenario_traced(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+) -> (RunStats, String) {
+    run_scenario_inner(s, policy, bug, true)
+}
+
+fn run_scenario_inner(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+    oracle: bool,
+) -> (RunStats, String) {
+    let mut m = build_machine(s, policy, bug, oracle);
+    let procs = s.procs;
+    let iters = s.iters;
+    let slots =
+        m.setup(|ctx| ctx.malloc(u64::from(procs) * 8, BlockHint::Line, HomeHint::Explicit(0)));
+    let slot = move |i: u32| slots + u64::from(i) * 8;
+    let bodies: Vec<Box<dyn FnOnce(Dsm) + Send>> = (0..procs)
+        .map(|p| {
+            let kernel = s.kernel;
+            Box::new(move |mut dsm: Dsm| match kernel {
+                Kernel::FalseSharing => {
+                    for r in 0..iters {
+                        let v = dsm.load_u64(slot(p));
+                        dsm.store_u64(slot(p), v + 1);
+                        dsm.compute(20);
+                        dsm.barrier(2 * r);
+                        // Every slot was incremented exactly once per round.
+                        let peer = (p + 1 + r % procs) % procs;
+                        let got = dsm.load_u64(slot(peer));
+                        assert_eq!(
+                            got,
+                            u64::from(r) + 1,
+                            "P{p} round {r}: slot {peer} holds {got}, expected {}",
+                            r + 1
+                        );
+                        dsm.barrier(2 * r + 1);
+                    }
+                }
+                Kernel::TightIncrement => {
+                    // Every processor increments its own word of the shared
+                    // block with no intra-loop synchronization; block
+                    // ownership ping-pongs between nodes every round. The
+                    // compute between a load and its store sweeps a
+                    // different phase each round and each processor, so
+                    // across rounds a remote node's upgrade-invalidation
+                    // lands *inside* the load→store gap: the node is then
+                    // `Shared` with both private entries ≥ Shared (both
+                    // mates took the protocol path for their loads) and the
+                    // next local op is a store — the §3.4.3 window where a
+                    // store reaches a block in `PendingDgInvalid`.
+                    // The gap is sized to straddle a cross-node message
+                    // latency (misses cost thousands of cycles on the
+                    // modeled hardware) and swept across rounds/processors
+                    // so some rounds put the store right behind an arriving
+                    // invalidation.
+                    for r in 0..iters {
+                        let v = dsm.load_u64(slot(p));
+                        dsm.compute(300 + (u64::from(r) * 1571 + u64::from(p) * 2097) % 5700);
+                        dsm.store_u64(slot(p), v + 1);
+                    }
+                    dsm.barrier(0);
+                    // Words are disjoint, so under any legal schedule every
+                    // slot ends at exactly `iters`.
+                    for q in 0..procs {
+                        let got = dsm.load_u64(slot(q));
+                        assert_eq!(
+                            got,
+                            u64::from(iters),
+                            "P{p}: slot {q} holds {got}, expected {iters} (lost store)"
+                        );
+                    }
+                }
+                Kernel::RotatingOwner => {
+                    for r in 0..iters {
+                        // Writer p owns slot (p + r) % procs this round —
+                        // a bijection, so every slot has exactly one writer.
+                        let mine = (p + r) % procs;
+                        dsm.store_u64(slot(mine), (u64::from(r) << 32) | u64::from(mine));
+                        dsm.compute(20);
+                        dsm.barrier(2 * r);
+                        let peer = (p + r + 1) % procs;
+                        let got = dsm.load_u64(slot(peer));
+                        assert_eq!(
+                            got,
+                            (u64::from(r) << 32) | u64::from(peer),
+                            "P{p} round {r}: slot {peer} holds {got:#x}"
+                        );
+                        dsm.barrier(2 * r + 1);
+                    }
+                }
+                Kernel::LockCounter => {
+                    for _ in 0..iters {
+                        dsm.acquire(0);
+                        let v = dsm.load_u64(slot(0));
+                        dsm.compute(10);
+                        dsm.store_u64(slot(0), v + 1);
+                        dsm.release(0);
+                    }
+                    dsm.barrier(u32::MAX);
+                    if p == 0 {
+                        let total = dsm.load_u64(slot(0));
+                        assert_eq!(
+                            total,
+                            u64::from(procs) * u64::from(iters),
+                            "lock counter lost increments"
+                        );
+                    }
+                }
+            }) as Box<dyn FnOnce(Dsm) + Send>
+        })
+        .collect();
+    let stats = m.run(bodies);
+    let trace = m.render_trace();
+    (stats, trace)
+}
+
+static QUIET: Once = Once::new();
+
+/// Silences the default panic printout for this process: checker sweeps
+/// *expect* panics (that is how oracles report), and a thousand backtraces
+/// drown the report. Violations are still fully captured in
+/// [`Counterexample::message`].
+pub fn silence_expected_panics() {
+    QUIET.call_once(|| panic::set_hook(Box::new(|_| {})));
+}
+
+/// Runs a scenario with oracles on, converting a violation panic into a
+/// replayable [`Counterexample`].
+pub fn run_checked(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+) -> Result<RunStats, Counterexample> {
+    let res = panic::catch_unwind(AssertUnwindSafe(|| run_scenario(s, policy, bug, true)));
+    res.map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Counterexample { scenario: *s, policy, bug, message }
+    })
+}
+
+/// Greedily shrinks a counterexample: repeatedly halve the kernel's round
+/// count while the *same* `(scenario, policy)` pair still fails, keeping
+/// the smallest failing run (fewer rounds ⇒ a shorter schedule and a
+/// tighter trace tail around the violation).
+pub fn shrink(cx: &Counterexample) -> Counterexample {
+    let mut best = cx.clone();
+    let mut iters = cx.scenario.iters;
+    while iters > 1 {
+        let half = iters / 2;
+        let candidate = Scenario { iters: half, ..cx.scenario };
+        match run_checked(&candidate, cx.policy, cx.bug) {
+            Err(smaller) => {
+                best = smaller;
+                iters = half;
+            }
+            Ok(_) => break,
+        }
+    }
+    best
+}
+
+/// Result of a seed sweep.
+#[derive(Debug, Default)]
+pub struct SweepReport {
+    /// Total runs executed.
+    pub runs: u64,
+    /// Failures found (already shrunk).
+    pub failures: Vec<Counterexample>,
+}
+
+/// Schedule policies explored for one seed.
+pub fn policies_for_seed(seed: u64) -> [SchedulePolicy; 2] {
+    [SchedulePolicy::SeededRandom { seed }, SchedulePolicy::Chains { seed, change_interval: 7 }]
+}
+
+/// Sweeps `seeds` over every scenario with both seeded policies, shrinking
+/// any failure. `max_failures` bounds how many counterexamples are chased
+/// (shrinking re-runs the kernel; one is usually what you want).
+pub fn sweep(
+    scenarios: &[Scenario],
+    seeds: std::ops::Range<u64>,
+    bug: BugInjection,
+    max_failures: usize,
+) -> SweepReport {
+    silence_expected_panics();
+    let mut report = SweepReport::default();
+    for seed in seeds {
+        for s in scenarios {
+            for policy in policies_for_seed(seed) {
+                report.runs += 1;
+                if let Err(cx) = run_checked(s, policy, bug) {
+                    report.failures.push(shrink(&cx));
+                    if report.failures.len() >= max_failures {
+                        return report;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Validates the oracles end to end: each deliberately broken protocol
+/// variant must be caught within `seeds_per_bug` seeds. Returns one shrunk
+/// counterexample per bug, or an error naming the bug that escaped.
+pub fn validate_oracles(
+    scenarios: &[Scenario],
+    seeds_per_bug: u64,
+) -> Result<Vec<Counterexample>, String> {
+    let mut caught = Vec::new();
+    for bug in [BugInjection::SkipDowngradeWait, BugInjection::DropPrivDowngrade] {
+        let report = sweep(scenarios, 0..seeds_per_bug, bug, 1);
+        match report.failures.into_iter().next() {
+            Some(cx) => caught.push(cx),
+            None => {
+                return Err(format!(
+                    "oracle validation failed: {bug:?} escaped {} runs",
+                    report.runs
+                ))
+            }
+        }
+    }
+    Ok(caught)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_policy_matches_unchecked_run_bit_exactly() {
+        let s = default_scenarios()[0];
+        let plain = run_scenario(&s, SchedulePolicy::Deterministic, BugInjection::None, false);
+        let checked = run_scenario(&s, SchedulePolicy::Deterministic, BugInjection::None, true);
+        assert_eq!(plain, checked, "oracles must not perturb timing or stats");
+    }
+
+    #[test]
+    fn correct_protocol_passes_a_few_seeds() {
+        let scenarios = default_scenarios();
+        let report = sweep(&scenarios, 0..3, BugInjection::None, 1);
+        assert_eq!(report.runs, 3 * 2 * scenarios.len() as u64);
+        for cx in &report.failures {
+            eprintln!("{cx}");
+        }
+        assert!(report.failures.is_empty(), "correct protocol must pass all oracles");
+    }
+}

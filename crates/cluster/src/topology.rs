@@ -21,12 +21,16 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a simulated processor, dense in `0..topology.procs()`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct ProcId(pub u32);
 
 /// Identifier of a node (physical or virtual depending on context), dense in
 /// `0..count`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for ProcId {

@@ -200,7 +200,13 @@ impl Dsm {
     /// Stores an `f64` to shared memory.
     pub fn store_f64(&mut self, addr: Addr, value: f64) {
         let pre_cycles = self.take_cycles();
-        self.expect_unit(Req::Store { addr, size: 8, value: value.to_bits(), fp: true, pre_cycles });
+        self.expect_unit(Req::Store {
+            addr,
+            size: 8,
+            value: value.to_bits(),
+            fp: true,
+            pre_cycles,
+        });
     }
 
     /// Batched read of `len` bytes at `addr` (a Shasta batch: one check
@@ -216,10 +222,7 @@ impl Dsm {
     /// Batched read of `n` consecutive `f64`s at `addr`.
     pub fn read_f64s(&mut self, addr: Addr, n: usize) -> Vec<f64> {
         let bytes = self.read_range(addr, (n * 8) as u64);
-        bytes
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect()
+        bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))).collect()
     }
 
     /// Batched write of `data` at `addr`.

@@ -21,6 +21,8 @@
 //!   epoch tracker for eager release consistency;
 //! * [`protocol`] — the Base-Shasta / SMP-Shasta / hardware engines and the
 //!   downgrade machinery;
+//! * [`oracle`] — coherence oracles (shadow memory, exclusivity,
+//!   private-state ceilings) for the schedule-exploration checker;
 //! * [`api`] — the application-facing [`api::Dsm`] handle.
 //!
 //! # Quickstart
@@ -59,9 +61,10 @@ pub mod api;
 pub mod check;
 pub mod directory;
 pub mod misstable;
+pub mod oracle;
 pub mod protocol;
 pub mod space;
 pub mod state;
 
 pub use api::Dsm;
-pub use protocol::{Machine, Mode, ProtocolConfig, SetupCtx};
+pub use protocol::{BugInjection, Machine, Mode, ProtocolConfig, SetupCtx};

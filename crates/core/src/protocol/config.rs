@@ -21,6 +21,27 @@ pub enum Mode {
     Hardware,
 }
 
+/// Deliberate protocol defects, used to validate that the checker's oracles
+/// actually catch real coherence bugs (they are never enabled in
+/// measurement runs; every preset sets [`BugInjection::None`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum BugInjection {
+    /// The correct protocol.
+    #[default]
+    None,
+    /// The deferred action of a downgrade reads the block data when the
+    /// downgrade *starts* instead of waiting until every local processor
+    /// has handled its downgrade message (§3.4.3 violation): stores that
+    /// are legally serviced during the downgrade window are missing from
+    /// the reply, so the requesting node receives — and applications then
+    /// read — a copy with those stores lost.
+    SkipDowngradeWait,
+    /// Processors ignore the private-state lowering in downgrade messages
+    /// (§3.3 violation): their inline checks keep passing after the node
+    /// lost the access right, so they read or write coherence-stale copies.
+    DropPrivDowngrade,
+}
+
 /// Full protocol configuration for a run.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub struct ProtocolConfig {
@@ -56,6 +77,9 @@ pub struct ProtocolConfig {
     /// paper notes ("servicing a request to the home by any processor on a
     /// node further requires sharing the directory state"). Off by default.
     pub load_balance_incoming: bool,
+    /// Deliberate defect for checker validation; [`BugInjection::None`] in
+    /// every measurement configuration.
+    pub bug: BugInjection,
 }
 
 impl ProtocolConfig {
@@ -71,12 +95,17 @@ impl ProtocolConfig {
             home_serves_reads: true,
             share_directory: false,
             load_balance_incoming: false,
+            bug: BugInjection::None,
         }
     }
 
     /// SMP-Shasta with its check flavour and paper defaults.
     pub fn smp() -> Self {
-        ProtocolConfig { mode: Mode::Smp, check: CheckModel::enabled(CheckFlavor::Smp), ..Self::base() }
+        ProtocolConfig {
+            mode: Mode::Smp,
+            check: CheckModel::enabled(CheckFlavor::Smp),
+            ..Self::base()
+        }
     }
 
     /// Hardware-coherent baseline: no instrumentation at all.
@@ -116,7 +145,10 @@ mod tests {
         assert!(c.merge_requests);
         assert!(c.nonblocking_stores);
         assert!(c.home_serves_reads);
-        assert!(!c.share_directory, "directory sharing is the future-work extension, off by default");
+        assert!(
+            !c.share_directory,
+            "directory sharing is the future-work extension, off by default"
+        );
         assert!(c.max_outstanding_stores > 0);
     }
 }

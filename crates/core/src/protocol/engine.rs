@@ -58,33 +58,32 @@ impl Machine {
             .collect();
         let mut pool = FiberPool::spawn_each(wrapped);
         let mut elapsed_recorded = false;
+        // Reused candidate buffer; the schedule policy chooses among the
+        // minimal-time entries each iteration (the deterministic default
+        // picks the first minimal `(time, proc)`, the historical behavior).
+        let mut cands: Vec<(Time, u32, Action)> = Vec::with_capacity(2 * n as usize);
 
         loop {
-            let mut best: Option<(Time, u32, Action)> = None;
-            let consider = |cand: (Time, u32, Action), best: &mut Option<(Time, u32, Action)>| {
-                if best.is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
-                    *best = Some(cand);
-                }
-            };
+            cands.clear();
             for p in 0..n {
                 let clock = self.clocks[p as usize];
                 match &self.stalls[p as usize] {
                     Some(stall) => {
                         if self.stall_satisfied(p, stall) {
                             let t = clock.max(self.wake_floor[p as usize]);
-                            consider((t, p, Action::Resume), &mut best);
+                            cands.push((t, p, Action::Resume));
                         }
                         if let Some(arr) = self.earliest_inbound(p) {
-                            consider((clock.max(arr), p, Action::Msg), &mut best);
+                            cands.push((clock.max(arr), p, Action::Msg));
                         }
                     }
                     None => {
                         if pool.is_finished(p) {
                             if let Some(arr) = self.earliest_inbound(p) {
-                                consider((clock.max(arr), p, Action::Msg), &mut best);
+                                cands.push((clock.max(arr), p, Action::Msg));
                             }
                         } else if let Some(req) = pool.peek_request(p) {
-                            consider((clock + req.pre_cycles(), p, Action::Op), &mut best);
+                            cands.push((clock + req.pre_cycles(), p, Action::Op));
                         }
                     }
                 }
@@ -96,12 +95,18 @@ impl Machine {
                 elapsed_recorded = true;
             }
 
-            let Some((_, p, action)) = best else {
+            if cands.is_empty() {
                 if pool.live_count() == 0 && self.net.in_flight() == 0 {
                     break;
                 }
                 self.deadlock_panic(&pool);
-            };
+            }
+            let (_, p, action) = cands[self.sched.pick(&cands, |c| (c.0, c.1))];
+            if let Some(limit) = self.step_limit {
+                if self.sched.steps() > limit {
+                    self.liveness_panic(limit, &pool);
+                }
+            }
 
             match action {
                 Action::Op => {
@@ -117,7 +122,10 @@ impl Machine {
                     if let Some(resp) = self.exec_op(p, &req, false) {
                         pool.resume(p, resp);
                     } else {
-                        debug_assert!(self.stalls[p as usize].is_some(), "no response and no stall");
+                        debug_assert!(
+                            self.stalls[p as usize].is_some(),
+                            "no response and no stall"
+                        );
                     }
                 }
                 Action::Resume => {
@@ -132,6 +140,15 @@ impl Machine {
                     self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
                     self.handle_message(p, env.src, env.msg);
                 }
+            }
+
+            // Checker-only: at quiescent moments the full invariant sweep is
+            // sound (no transaction is mid-flight), so run it periodically.
+            if self.oracle.is_some()
+                && self.sched.steps().is_multiple_of(512)
+                && self.oracle_quiescent()
+            {
+                self.oracle_quiescent_sweep();
             }
         }
 
@@ -172,11 +189,8 @@ impl Machine {
     /// shared incoming queue under load balancing.
     fn earliest_inbound(&self, p: u32) -> Option<Time> {
         let own = self.net.peek_arrival(p);
-        let shared = if self.cfg.load_balance_incoming {
-            self.net.peek_vnode_arrival(p)
-        } else {
-            None
-        };
+        let shared =
+            if self.cfg.load_balance_incoming { self.net.peek_vnode_arrival(p) } else { None };
         match (own, shared) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -186,11 +200,8 @@ impl Machine {
     /// Pops the earliest message `p` can handle (see [`Self::earliest_inbound`]).
     fn pop_inbound(&mut self, p: u32) -> Option<shasta_memchan::Envelope<ProtoMsg>> {
         let own = self.net.peek_arrival(p);
-        let shared = if self.cfg.load_balance_incoming {
-            self.net.peek_vnode_arrival(p)
-        } else {
-            None
-        };
+        let shared =
+            if self.cfg.load_balance_incoming { self.net.peek_vnode_arrival(p) } else { None };
         match (own, shared) {
             (Some(a), Some(b)) if b < a => self.net.pop_vnode_earliest(p),
             (Some(_), _) => self.net.pop_earliest(p),
@@ -299,7 +310,11 @@ impl Machine {
                 ProtoMsg::Downgrade { .. } => Some(shasta_stats::MsgClass::Downgrade),
                 _ => None,
             };
-            self.net.send(src, dst, msg, payload, self.clocks[src as usize], class);
+            // Seeded schedule policies stretch individual message latencies
+            // (within legal bounds — latency is unspecified) to reorder
+            // deliveries; the deterministic policy adds zero.
+            let t = self.clocks[src as usize] + self.sched.send_jitter();
+            self.net.send(src, dst, msg, payload, t, class);
         }
     }
 
@@ -317,6 +332,18 @@ impl Machine {
     /// `retry` skips compute and check charging when re-executing after a
     /// stall.
     fn exec_op(&mut self, p: u32, op: &Req, retry: bool) -> Option<Resp> {
+        let resp = self.exec_op_inner(p, op, retry);
+        // Oracle observation happens at commit: the operation completed (a
+        // stalled op is observed when its retry finally returns a response).
+        if self.oracle.is_some() {
+            if let Some(r) = &resp {
+                self.oracle_observe(p, op, r);
+            }
+        }
+        resp
+    }
+
+    fn exec_op_inner(&mut self, p: u32, op: &Req, retry: bool) -> Option<Resp> {
         if self.cfg.mode == Mode::Hardware {
             return self.exec_hw(p, op);
         }
@@ -437,7 +464,11 @@ impl Machine {
             LineState::PendingDgShared | LineState::PendingDgInvalid => {
                 // §3.4.3: the block is mid-downgrade but the prior state was
                 // sufficient for a read; service it under the line lock.
-                self.pay(p, TimeCat::Other, self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles);
+                self.pay(
+                    p,
+                    TimeCat::Other,
+                    self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
+                );
                 if state == LineState::PendingDgShared {
                     self.set_priv(p, block, PrivState::Shared);
                 }
@@ -517,7 +548,11 @@ impl Machine {
                 // state table (SMP only; unreachable in Base where the check
                 // reads the same table).
                 debug_assert_eq!(self.cfg.mode, Mode::Smp);
-                self.pay(p, TimeCat::Other, self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles);
+                self.pay(
+                    p,
+                    TimeCat::Other,
+                    self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
+                );
                 self.set_priv(p, block, PrivState::Exclusive);
                 self.stats.misses.private_upgrades += 1;
                 self.mems[v].write_scalar(addr, size, value);
@@ -527,7 +562,11 @@ impl Machine {
                 // Prior state was exclusive: this store may be serviced
                 // before the downgrade completes; it will be included in the
                 // data the last downgrader sends (§3.4.3).
-                self.pay(p, TimeCat::Other, self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles);
+                self.pay(
+                    p,
+                    TimeCat::Other,
+                    self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
+                );
                 self.mems[v].write_scalar(addr, size, value);
                 self.set_priv(p, block, PrivState::Shared);
                 Some(Resp::Unit)
@@ -611,7 +650,8 @@ impl Machine {
                     self.begin_stall(p, StallKind::StoreLimit { op: op.clone() }, TimeCat::Write);
                     return None;
                 }
-                let kind = if state == LineState::Shared { ReqKind::Upgrade } else { ReqKind::Write };
+                let kind =
+                    if state == LineState::Shared { ReqKind::Upgrade } else { ReqKind::Write };
                 if self.cfg.nonblocking_stores {
                     self.issue_request(p, block, kind);
                     // When the requester is its own home the transaction may
@@ -683,14 +723,14 @@ impl Machine {
             let req_kind = kind;
             let _ = msg;
             self.handle_home_request_at(p, home, p, req_kind, block);
-        } else if self.cfg.load_balance_incoming && p != home && self.vnode(p) != self.vnode(home)
-        {
+        } else if self.cfg.load_balance_incoming && p != home && self.vnode(p) != self.vnode(home) {
             // Load-balancing extension: the request lands in the home
             // node's shared queue; whichever node processor polls first
             // services it (directory state is shared).
             self.pay(p, TimeCat::Message, self.cost.msg_send_cycles);
             let payload = msg.payload_bytes();
-            self.net.send_to_vnode(p, home, msg, payload, self.clocks[p as usize]);
+            let t = self.clocks[p as usize] + self.sched.send_jitter();
+            self.net.send_to_vnode(p, home, msg, payload, t);
         } else {
             self.post(p, home, msg);
         }
@@ -774,7 +814,14 @@ impl Machine {
         self.stats.checks.batches += 1;
     }
 
-    fn exec_read_range(&mut self, p: u32, addr: Addr, len: u64, retry: bool, op: &Req) -> Option<Resp> {
+    fn exec_read_range(
+        &mut self,
+        p: u32,
+        addr: Addr,
+        len: u64,
+        retry: bool,
+        op: &Req,
+    ) -> Option<Resp> {
         if !retry {
             self.charge_batch(p, addr, len, true);
         }
@@ -829,7 +876,9 @@ impl Machine {
                 self.mems[0].write_scalar(addr, size, value);
                 Some(Resp::Unit)
             }
-            Req::ReadRange { addr, len, .. } => Some(Resp::Data(self.mems[0].read(addr, len).to_vec())),
+            Req::ReadRange { addr, len, .. } => {
+                Some(Resp::Data(self.mems[0].read(addr, len).to_vec()))
+            }
             Req::WriteRange { addr, ref data, .. } => {
                 let data = data.clone();
                 self.mems[0].write(addr, &data);
@@ -882,6 +931,28 @@ impl Machine {
             Req::Fence { .. } => Some(Resp::Unit),
             Req::Poll { .. } => Some(Resp::Unit),
         }
+    }
+
+    /// The checker's liveness oracle fired: the run exceeded its scheduling
+    /// step budget without completing.
+    fn liveness_panic(&self, limit: u64, pool: &FiberPool<Req, Resp>) -> ! {
+        let mut diag = format!(
+            "liveness violation: run exceeded {limit} scheduling steps without completing\n"
+        );
+        for p in 0..self.topo.procs() {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                diag,
+                "  P{p}: clock={} finished={} stall={:?}",
+                self.clocks[p as usize],
+                pool.is_finished(p),
+                self.stalls[p as usize].as_ref().map(|s| &s.kind)
+            );
+        }
+        use std::fmt::Write as _;
+        let _ = writeln!(diag, "  in-flight messages: {}", self.net.in_flight());
+        let _ = write!(diag, "{}", self.trace.render_tail(40));
+        panic!("{diag}");
     }
 
     fn deadlock_panic(&self, pool: &FiberPool<Req, Resp>) -> ! {

@@ -16,8 +16,12 @@ impl Machine {
     /// Dispatches one incoming protocol message at processor `p`.
     pub(crate) fn handle_message(&mut self, p: u32, src: u32, msg: ProtoMsg) {
         match msg {
-            ProtoMsg::ReadReq { block } => self.handle_request_delivery(p, src, ReqKind::Read, block),
-            ProtoMsg::WriteReq { block } => self.handle_request_delivery(p, src, ReqKind::Write, block),
+            ProtoMsg::ReadReq { block } => {
+                self.handle_request_delivery(p, src, ReqKind::Read, block)
+            }
+            ProtoMsg::WriteReq { block } => {
+                self.handle_request_delivery(p, src, ReqKind::Write, block)
+            }
             ProtoMsg::UpgradeReq { block } => {
                 self.handle_request_delivery(p, src, ReqKind::Upgrade, block)
             }
@@ -105,12 +109,21 @@ impl Machine {
     /// The cost-free body of home request processing (re-entered when a
     /// queued request is drained after a directory update — the handler cost
     /// for drained requests is charged at drain time).
-    fn dispatch_home_request(&mut self, exec: u32, home: u32, requester: u32, kind: ReqKind, block: Block) {
+    fn dispatch_home_request(
+        &mut self,
+        exec: u32,
+        home: u32,
+        requester: u32,
+        kind: ReqKind,
+        block: Block,
+    ) {
         let entry = self.dirs[home as usize].entry(block.start);
         if entry.busy {
             entry.queue.push_back(crate::directory::QueuedReq { requester, kind });
             let t = self.clocks[exec as usize];
-            self.trace.record(t, exec, "dir-queued", || format!("{:#x} {kind:?} from {requester}", block.start));
+            self.trace.record(t, exec, "dir-queued", || {
+                format!("{:#x} {kind:?} from {requester}", block.start)
+            });
             return;
         }
         match kind {
@@ -134,7 +147,11 @@ impl Machine {
                 // forwarded read.
                 self.fwd_read_body(exec, block, requester, true);
             } else {
-                self.post(exec, owner, ProtoMsg::FwdRead { block, requester, owner_exclusive: true });
+                self.post(
+                    exec,
+                    owner,
+                    ProtoMsg::FwdRead { block, requester, owner_exclusive: true },
+                );
             }
             return;
         }
@@ -162,15 +179,20 @@ impl Machine {
         if entry.exclusive {
             let owner = entry.owner;
             entry.busy = true;
-            assert_ne!(
-                self.vnode(owner),
-                rv,
-                "write request from the exclusive owner's own node"
-            );
+            assert_ne!(self.vnode(owner), rv, "write request from the exclusive owner's own node");
             if self.vnode(owner) == hv {
                 self.fwd_write_body(exec, block, requester, 0, true);
             } else {
-                self.post(exec, owner, ProtoMsg::FwdWrite { block, requester, acks_expected: 0, owner_exclusive: true });
+                self.post(
+                    exec,
+                    owner,
+                    ProtoMsg::FwdWrite {
+                        block,
+                        requester,
+                        acks_expected: 0,
+                        owner_exclusive: true,
+                    },
+                );
             }
             return;
         }
@@ -185,8 +207,7 @@ impl Machine {
             "write request from a node still listed as sharer"
         );
         if self.node_has_copy(hv, block) {
-            let to_inval: Vec<u32> =
-                sharers.into_iter().filter(|&s| self.vnode(s) != rv).collect();
+            let to_inval: Vec<u32> = sharers.into_iter().filter(|&s| self.vnode(s) != rv).collect();
             let acks = to_inval.len() as u32;
             let data = self.mems[hv].read(block.start, block.len).to_vec();
             self.dirs[home as usize].entry(block.start).grant_exclusive(requester);
@@ -205,21 +226,23 @@ impl Machine {
         } else {
             // Home lacks a copy: the owner supplies data (and invalidates
             // itself); the home invalidates the remaining sharers.
-            let to_inval: Vec<u32> = sharers
-                .into_iter()
-                .filter(|&s| self.vnode(s) != rv && s != owner)
-                .collect();
+            let to_inval: Vec<u32> =
+                sharers.into_iter().filter(|&s| self.vnode(s) != rv && s != owner).collect();
             let acks = to_inval.len() as u32;
             self.dirs[home as usize].entry(block.start).busy = true;
             if self.vnode(owner) == hv {
                 self.fwd_write_body(exec, block, requester, acks, false);
             } else {
-                self.post(exec, owner, ProtoMsg::FwdWrite {
-                    block,
-                    requester,
-                    acks_expected: acks,
-                    owner_exclusive: false,
-                });
+                self.post(
+                    exec,
+                    owner,
+                    ProtoMsg::FwdWrite {
+                        block,
+                        requester,
+                        acks_expected: acks,
+                        owner_exclusive: false,
+                    },
+                );
             }
             for s in to_inval {
                 self.post(exec, s, ProtoMsg::InvalidateReq { block, ack_to: requester });
@@ -271,25 +294,29 @@ impl Machine {
         let v = self.vnode(owner);
         match self.block_state(v, block) {
             LineState::Exclusive => {
-                self.start_downgrade(owner, block, DowngradeTo::Shared, Deferred::ReadDone {
-                    requester,
-                });
+                self.start_downgrade(
+                    owner,
+                    block,
+                    DowngradeTo::Shared,
+                    Deferred::ReadDone { requester },
+                );
             }
             LineState::Shared => {
                 // Shared-mode forward: no downgrade needed, serve directly.
                 let data = self.mems[v].read(block.start, block.len).to_vec();
                 let home = self.home_proc(block);
                 self.post(owner, requester, ProtoMsg::ReadReply { block, data });
-                self.post(owner, home, ProtoMsg::DirUpdateMsg {
-                    block,
-                    update: DirUpdate::SharedBy { reader: requester },
-                });
+                self.post(
+                    owner,
+                    home,
+                    ProtoMsg::DirUpdateMsg {
+                        block,
+                        update: DirUpdate::SharedBy { reader: requester },
+                    },
+                );
             }
             LineState::PendingWrite => {
-                let kind = self.miss[v]
-                    .get(block.start)
-                    .expect("pending state without entry")
-                    .kind;
+                let kind = self.miss[v].get(block.start).expect("pending state without entry").kind;
                 let stale = self.deferred_invals[v].contains_key(&block.start);
                 if kind == ReqKind::Upgrade && !stale && !owner_exclusive {
                     // A shared-mode forward while our (unconverted) upgrade
@@ -299,10 +326,14 @@ impl Machine {
                     let data = self.mems[v].read(block.start, block.len).to_vec();
                     let home = self.home_proc(block);
                     self.post(owner, requester, ProtoMsg::ReadReply { block, data });
-                    self.post(owner, home, ProtoMsg::DirUpdateMsg {
-                        block,
-                        update: DirUpdate::SharedBy { reader: requester },
-                    });
+                    self.post(
+                        owner,
+                        home,
+                        ProtoMsg::DirUpdateMsg {
+                            block,
+                            update: DirUpdate::SharedBy { reader: requester },
+                        },
+                    );
                 } else {
                     // A data-awaiting write: the reply is already in flight
                     // from a third party (no FIFO with the forward). Queue
@@ -362,10 +393,14 @@ impl Machine {
                 let data = self.mems[v].read(block.start, block.len).to_vec();
                 let home = self.home_proc(block);
                 self.post(owner, requester, ProtoMsg::WriteReply { block, data, acks_expected });
-                self.post(owner, home, ProtoMsg::DirUpdateMsg {
-                    block,
-                    update: DirUpdate::OwnedBy { writer: requester },
-                });
+                self.post(
+                    owner,
+                    home,
+                    ProtoMsg::DirUpdateMsg {
+                        block,
+                        update: DirUpdate::OwnedBy { writer: requester },
+                    },
+                );
                 // The entry stays pending; the converted reply will refill
                 // the block. Memory keeps the stale copy meanwhile, which
                 // racing local loads may legally observe (release
@@ -376,7 +411,11 @@ impl Machine {
                     .get_mut(block.start)
                     .expect("pending state without entry")
                     .queued_fwds
-                    .push(crate::misstable::QueuedFwd { requester, exclusive: true, acks_expected });
+                    .push(crate::misstable::QueuedFwd {
+                        requester,
+                        exclusive: true,
+                        acks_expected,
+                    });
             }
             return;
         }
@@ -385,10 +424,12 @@ impl Machine {
             "forwarded write reached {owner} with block {:#x} in state {state:?}",
             block.start
         );
-        self.start_downgrade(owner, block, DowngradeTo::Invalid, Deferred::WriteDone {
-            requester,
-            acks_expected,
-        });
+        self.start_downgrade(
+            owner,
+            block,
+            DowngradeTo::Invalid,
+            Deferred::WriteDone { requester, acks_expected },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -401,7 +442,13 @@ impl Machine {
     /// action executes immediately; otherwise the last processor to handle
     /// its downgrade message executes it (§3.4.3) — processors are never
     /// stalled during a downgrade.
-    pub(crate) fn start_downgrade(&mut self, x: u32, block: Block, to: DowngradeTo, deferred: Deferred) {
+    pub(crate) fn start_downgrade(
+        &mut self,
+        x: u32,
+        block: Block,
+        to: DowngradeTo,
+        deferred: Deferred,
+    ) {
         let v = self.vnode(x);
         assert!(
             !self.downgrades[v].contains_key(&block.start),
@@ -439,7 +486,7 @@ impl Machine {
         self.stats.downgrades.record(targets.len());
         self.trace_dg(x, block, to, targets.len());
         if targets.is_empty() {
-            self.complete_downgrade(x, block, to, deferred);
+            self.complete_downgrade(x, block, to, deferred, None);
         } else {
             self.pay(x, TimeCat::Other, self.cost.downgrade_setup_cycles);
             let pending = match to {
@@ -447,12 +494,18 @@ impl Machine {
                 DowngradeTo::Invalid => LineState::PendingDgInvalid,
             };
             self.set_block_state(v, block, pending);
-            self.downgrades[v].insert(block.start, DowngradeEntry {
-                remaining: targets.len() as u32,
-                to,
-                deferred,
-                prior,
-            });
+            // Injected defect: capture the reply data *now* instead of
+            // waiting for every local processor to handle its downgrade
+            // message — stores legally serviced during the window (§3.4.3)
+            // are then missing from the data the requester receives.
+            let early_data = (self.cfg.bug
+                == crate::protocol::config::BugInjection::SkipDowngradeWait
+                && matches!(deferred, Deferred::ReadDone { .. } | Deferred::WriteDone { .. }))
+            .then(|| self.mems[v].read(block.start, block.len).to_vec());
+            self.downgrades[v].insert(
+                block.start,
+                DowngradeEntry { remaining: targets.len() as u32, to, deferred, prior, early_data },
+            );
             for q in targets {
                 self.post(x, q, ProtoMsg::Downgrade { block, to });
             }
@@ -470,14 +523,15 @@ impl Machine {
         self.pay(p, TimeCat::Message, self.cost.downgrade_handler_cycles);
         let v = self.vnode(p);
         let lines = block.line_range(self.space.line_bytes());
-        self.privs[p as usize].downgrade_range(lines, priv_ceiling(to));
-        let entry = self.downgrades[v]
-            .get_mut(&block.start)
-            .expect("downgrade message without entry");
+        if self.cfg.bug != crate::protocol::config::BugInjection::DropPrivDowngrade {
+            self.privs[p as usize].downgrade_range(lines, priv_ceiling(to));
+        }
+        let entry =
+            self.downgrades[v].get_mut(&block.start).expect("downgrade message without entry");
         entry.remaining -= 1;
         if entry.remaining == 0 {
             let entry = self.downgrades[v].remove(&block.start).expect("just present");
-            self.complete_downgrade(p, block, entry.to, entry.deferred);
+            self.complete_downgrade(p, block, entry.to, entry.deferred, entry.early_data);
         }
     }
 
@@ -485,16 +539,26 @@ impl Machine {
     /// (writing invalid-flag values if invalidating) and run the deferred
     /// action — reading the data *after* every local processor has handled
     /// its downgrade, so in-flight local stores are included.
-    fn complete_downgrade(&mut self, executor: u32, block: Block, to: DowngradeTo, deferred: Deferred) {
+    fn complete_downgrade(
+        &mut self,
+        executor: u32,
+        block: Block,
+        to: DowngradeTo,
+        deferred: Deferred,
+        early_data: Option<Vec<u8>>,
+    ) {
         let v = self.vnode(executor);
         let t = self.clocks[executor as usize];
-        self.trace.record(t, executor, "dg-done", || format!("{:#x} to {to:?} {deferred:?}", block.start));
+        self.trace.record(t, executor, "dg-done", || {
+            format!("{:#x} to {to:?} {deferred:?}", block.start)
+        });
         self.pay(executor, TimeCat::Other, self.cost.deferred_action_cycles);
-        // Capture data before any flag writes.
+        // Capture data before any flag writes. `early_data` (bug injection
+        // only) substitutes a stale pre-downgrade snapshot here.
         let data = match deferred {
-            Deferred::ReadDone { .. } | Deferred::WriteDone { .. } => {
-                Some(self.mems[v].read(block.start, block.len).to_vec())
-            }
+            Deferred::ReadDone { .. } | Deferred::WriteDone { .. } => Some(
+                early_data.unwrap_or_else(|| self.mems[v].read(block.start, block.len).to_vec()),
+            ),
             Deferred::InvDone { .. } => None,
         };
         match to {
@@ -516,18 +580,26 @@ impl Machine {
             Deferred::ReadDone { requester } => {
                 let data = data.expect("captured above");
                 self.post(executor, requester, ProtoMsg::ReadReply { block, data });
-                self.post(executor, home, ProtoMsg::DirUpdateMsg {
-                    block,
-                    update: DirUpdate::SharedBy { reader: requester },
-                });
+                self.post(
+                    executor,
+                    home,
+                    ProtoMsg::DirUpdateMsg {
+                        block,
+                        update: DirUpdate::SharedBy { reader: requester },
+                    },
+                );
             }
             Deferred::WriteDone { requester, acks_expected } => {
                 let data = data.expect("captured above");
                 self.post(executor, requester, ProtoMsg::WriteReply { block, data, acks_expected });
-                self.post(executor, home, ProtoMsg::DirUpdateMsg {
-                    block,
-                    update: DirUpdate::OwnedBy { writer: requester },
-                });
+                self.post(
+                    executor,
+                    home,
+                    ProtoMsg::DirUpdateMsg {
+                        block,
+                        update: DirUpdate::OwnedBy { writer: requester },
+                    },
+                );
             }
             Deferred::InvDone { ack_to } => {
                 self.post(executor, ack_to, ProtoMsg::InvAck { block });
@@ -544,7 +616,9 @@ impl Machine {
         let v = self.vnode(p);
         let state = self.block_state(v, block);
         let t = self.clocks[p as usize];
-        self.trace.record(t, p, "inval", || format!("{:#x} state {state:?} ack_to {ack_to}", block.start));
+        self.trace.record(t, p, "inval", || {
+            format!("{:#x} state {state:?} ack_to {ack_to}", block.start)
+        });
         match state {
             LineState::Shared | LineState::Exclusive => {
                 self.start_downgrade(p, block, DowngradeTo::Invalid, Deferred::InvDone { ack_to });
@@ -560,10 +634,9 @@ impl Machine {
                 // Stale invalidation (the copy is already gone): just ack.
                 self.post(p, ack_to, ProtoMsg::InvAck { block });
             }
-            LineState::PendingDgShared | LineState::PendingDgInvalid => panic!(
-                "invalidation raced an in-progress downgrade on block {:#x}",
-                block.start
-            ),
+            LineState::PendingDgShared | LineState::PendingDgInvalid => {
+                panic!("invalidation raced an in-progress downgrade on block {:#x}", block.start)
+            }
         }
     }
 
@@ -663,9 +736,7 @@ impl Machine {
         let v = self.vnode(p);
         let t = self.clocks[p as usize];
         self.trace.record(t, p, "r-reply", || format!("{:#x} from {src}", block.start));
-        let mut entry = self.miss[v]
-            .remove(block.start)
-            .expect("read reply without a miss entry");
+        let mut entry = self.miss[v].remove(block.start).expect("read reply without a miss entry");
         assert_eq!(entry.kind, ReqKind::Read, "read reply for a non-read entry");
         assert_eq!(entry.requester, p, "reply delivered to a non-requester");
         let hops = self.classify_hops(p, src, block);
@@ -734,9 +805,7 @@ impl Machine {
         let v = self.vnode(p);
         let t = self.clocks[p as usize];
         self.trace.record(t, p, "w-reply", || format!("{:#x} from {src} acks {acks}", block.start));
-        let mut entry = self.miss[v]
-            .remove(block.start)
-            .expect("write reply without a miss entry");
+        let mut entry = self.miss[v].remove(block.start).expect("write reply without a miss entry");
         assert!(
             matches!(entry.kind, ReqKind::Write | ReqKind::Upgrade),
             "write reply for a read entry"
@@ -776,14 +845,15 @@ impl Machine {
     fn handle_upgrade_reply(&mut self, p: u32, src: u32, block: Block, acks: u32) {
         self.pay(p, TimeCat::Message, self.cost.reply_receive_cycles + self.smp_lock_cost());
         let v = self.vnode(p);
-        let mut entry = self.miss[v]
-            .remove(block.start)
-            .expect("upgrade reply without a miss entry");
+        let mut entry =
+            self.miss[v].remove(block.start).expect("upgrade reply without a miss entry");
         assert_eq!(entry.kind, ReqKind::Upgrade, "upgrade reply for a non-upgrade entry");
         let hops = self.classify_hops(p, src, block);
         self.stats.misses.record(miss_kind_of(ReqKind::Upgrade), hops);
         let t = self.clocks[p as usize];
-        self.trace.record(t, p, "upg-reply", || format!("{:#x} acks {acks} early {}", block.start, entry.early_acks));
+        self.trace.record(t, p, "upg-reply", || {
+            format!("{:#x} acks {acks} early {}", block.start, entry.early_acks)
+        });
         assert!(
             !self.deferred_invals[v].contains_key(&block.start),
             "an upgrade cannot be granted to a processor whose copy was invalidated"
@@ -812,14 +882,19 @@ impl Machine {
     fn drain_queued_fwds(&mut self, p: u32, block: Block, fwds: Vec<crate::misstable::QueuedFwd>) {
         for f in fwds {
             if f.exclusive {
-                self.start_downgrade(p, block, DowngradeTo::Invalid, Deferred::WriteDone {
-                    requester: f.requester,
-                    acks_expected: f.acks_expected,
-                });
+                self.start_downgrade(
+                    p,
+                    block,
+                    DowngradeTo::Invalid,
+                    Deferred::WriteDone { requester: f.requester, acks_expected: f.acks_expected },
+                );
             } else {
-                self.start_downgrade(p, block, DowngradeTo::Shared, Deferred::ReadDone {
-                    requester: f.requester,
-                });
+                self.start_downgrade(
+                    p,
+                    block,
+                    DowngradeTo::Shared,
+                    Deferred::ReadDone { requester: f.requester },
+                );
             }
         }
     }

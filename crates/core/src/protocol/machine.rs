@@ -4,12 +4,13 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use shasta_cluster::{CostModel, Topology};
 use shasta_memchan::Network;
-use shasta_sim::{Time, Trace};
+use shasta_sim::{SchedulePolicy, Scheduler, Time, Trace};
 use shasta_stats::{RunStats, TimeCat};
 
 use crate::api::Req;
 use crate::directory::Directory;
 use crate::misstable::{EpochTracker, MissTable};
+use crate::oracle::Oracle;
 use crate::protocol::config::{Mode, ProtocolConfig};
 use crate::protocol::msg::{DowngradeTo, ProtoMsg};
 use crate::space::{Addr, Block, BlockHint, HomeHint, SharedSpace};
@@ -54,6 +55,14 @@ pub struct DowngradeEntry {
     /// already handled their downgrade message may still be serviced if this
     /// prior state was sufficient (§3.4.3).
     pub prior: LineState,
+    /// [`BugInjection::SkipDowngradeWait`] only: block data captured when
+    /// the downgrade *started* instead of when the last local processor
+    /// handled its downgrade message. Using it for the deferred reply loses
+    /// any store serviced during the downgrade window — the defect the
+    /// checker's oracles must catch. `None` in the correct protocol.
+    ///
+    /// [`BugInjection::SkipDowngradeWait`]: crate::protocol::config::BugInjection::SkipDowngradeWait
+    pub early_data: Option<Vec<u8>>,
 }
 
 /// Why a processor is stalled, and what to do when it can make progress.
@@ -190,6 +199,13 @@ pub struct Machine {
     // ---- output ----
     pub(crate) stats: RunStats,
     pub(crate) trace: Trace,
+    // ---- checker hooks ----
+    /// Schedule policy state (deterministic by default).
+    pub(crate) sched: Scheduler,
+    /// Coherence oracles (shadow memory + invariants), checker runs only.
+    pub(crate) oracle: Option<Box<Oracle>>,
+    /// Liveness budget: panic if a run exceeds this many scheduling steps.
+    pub(crate) step_limit: Option<u64>,
 }
 
 impl Machine {
@@ -264,6 +280,9 @@ impl Machine {
             barriers: HashMap::new(),
             stats: RunStats::new(procs),
             trace: Trace::disabled(),
+            sched: Scheduler::default(),
+            oracle: None,
+            step_limit: None,
             topo,
             cost,
             cfg,
@@ -271,9 +290,42 @@ impl Machine {
         }
     }
 
+    /// Selects how the engine breaks scheduling ties and jitters message
+    /// latency (see [`SchedulePolicy`]). The default deterministic policy
+    /// reproduces historical runs bit-exactly; seeded policies explore other
+    /// legal interleavings, reproducibly per seed. Set before [`Machine::run`].
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.sched = Scheduler::new(policy);
+    }
+
+    /// Turns on the coherence oracles: a shadow sequential memory checked on
+    /// every load/store (sound for data-race-free programs), single-writer
+    /// exclusivity, and private-state/directory agreement. Enable before
+    /// [`Machine::setup`] so initialization writes reach the shadow.
+    ///
+    /// Violations panic with the event-trace tail; combine with
+    /// [`Machine::enable_trace`] for usable counterexamples.
+    pub fn enable_oracle(&mut self) {
+        self.oracle = Some(Box::new(Oracle::new(self.space.heap_bytes())));
+    }
+
+    /// Caps the run at `steps` scheduling steps; exceeding it panics with
+    /// diagnostics (the checker's liveness oracle — e.g. a downgrade whose
+    /// completion never fires shows up as budget exhaustion, not a hang).
+    pub fn set_step_limit(&mut self, steps: u64) {
+        self.step_limit = Some(steps);
+    }
+
     /// Enables bounded event tracing (diagnostics).
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Trace::bounded(capacity);
+    }
+
+    /// Renders the recorded event trace (empty when tracing is disabled).
+    /// The render is a faithful witness of the schedule taken, so equal
+    /// renders across runs demonstrate reproducibility.
+    pub fn render_trace(&self) -> String {
+        self.trace.render()
     }
 
     /// The topology in effect.
@@ -403,6 +455,9 @@ impl SetupCtx<'_> {
             // Initial contents: zeros (not flag values) at the home copy.
             let zeros = vec![0u8; block.len as usize];
             self.m.mems[hv].write(block.start, &zeros);
+            if let Some(o) = &mut self.m.oracle {
+                o.shadow_write(block.start, &zeros);
+            }
             cur = block.start + block.len;
         }
         addr
@@ -430,6 +485,9 @@ impl SetupCtx<'_> {
             let n = ((block_end - a) as usize).min(data.len() - off);
             let v = self.home_vnode_of(a);
             self.m.mems[v].write(a, &data[off..off + n]);
+            if let Some(o) = &mut self.m.oracle {
+                o.shadow_write(a, &data[off..off + n]);
+            }
             off += n;
         }
     }
@@ -488,8 +546,8 @@ impl SetupCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shasta_cluster::{CostModel, Topology};
     use crate::state::INVALID_FLAG;
+    use shasta_cluster::{CostModel, Topology};
 
     fn machine() -> Machine {
         let topo = Topology::new(8, 4, 4).unwrap();
@@ -535,13 +593,9 @@ mod tests {
     #[test]
     fn load_balancing_requires_smp_mode() {
         let topo = Topology::new(8, 4, 1).unwrap();
-        let cfg = ProtocolConfig {
-            load_balance_incoming: true,
-            ..ProtocolConfig::base()
-        };
-        let r = std::panic::catch_unwind(|| {
-            Machine::new(topo, CostModel::alpha_4100(), cfg, 1 << 20)
-        });
+        let cfg = ProtocolConfig { load_balance_incoming: true, ..ProtocolConfig::base() };
+        let r =
+            std::panic::catch_unwind(|| Machine::new(topo, CostModel::alpha_4100(), cfg, 1 << 20));
         assert!(r.is_err(), "Base mode cannot load-balance");
     }
 

@@ -20,6 +20,6 @@ pub mod handlers;
 pub mod machine;
 pub mod msg;
 
-pub use config::{Mode, ProtocolConfig};
+pub use config::{BugInjection, Mode, ProtocolConfig};
 pub use machine::{Machine, SetupCtx};
 pub use msg::{DirUpdate, DowngradeTo, ProtoMsg};

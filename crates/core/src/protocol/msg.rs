@@ -153,7 +153,9 @@ impl ProtoMsg {
     /// the block; everything else is header-only).
     pub fn payload_bytes(&self) -> u64 {
         match self {
-            ProtoMsg::ReadReply { data, .. } | ProtoMsg::WriteReply { data, .. } => data.len() as u64,
+            ProtoMsg::ReadReply { data, .. } | ProtoMsg::WriteReply { data, .. } => {
+                data.len() as u64
+            }
             _ => 0,
         }
     }
@@ -202,7 +204,11 @@ mod tests {
     #[test]
     fn labels_cover_message_kinds() {
         let b = Block { start: 0, len: 64 };
-        assert_eq!(ProtoMsg::FwdWrite { block: b, requester: 1, acks_expected: 0, owner_exclusive: true }.label(), "fwd-write");
+        assert_eq!(
+            ProtoMsg::FwdWrite { block: b, requester: 1, acks_expected: 0, owner_exclusive: true }
+                .label(),
+            "fwd-write"
+        );
         assert_eq!(ProtoMsg::LockGrant { lock: 3 }.label(), "lock-grant");
     }
 }

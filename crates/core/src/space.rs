@@ -84,7 +84,10 @@ impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match *self {
             AllocError::OutOfMemory { requested, available } => {
-                write!(f, "shared heap exhausted: requested {requested} bytes, {available} available")
+                write!(
+                    f,
+                    "shared heap exhausted: requested {requested} bytes, {available} available"
+                )
             }
             AllocError::ZeroSize => write!(f, "zero-sized shared allocation"),
             AllocError::BadHome { home, procs } => {
@@ -220,7 +223,12 @@ impl SharedSpace {
     ///
     /// Returns [`AllocError`] if the heap is exhausted, `size` is zero, or
     /// the explicit home is out of range.
-    pub fn malloc(&mut self, size: u64, block: BlockHint, home: HomeHint) -> Result<Addr, AllocError> {
+    pub fn malloc(
+        &mut self,
+        size: u64,
+        block: BlockHint,
+        home: HomeHint,
+    ) -> Result<Addr, AllocError> {
         if size == 0 {
             return Err(AllocError::ZeroSize);
         }
@@ -284,9 +292,8 @@ impl SharedSpace {
         let mut cur = addr;
         let end = addr + len;
         while cur < end {
-            let b = self
-                .block_of(cur)
-                .unwrap_or_else(|| panic!("unallocated shared address {cur:#x}"));
+            let b =
+                self.block_of(cur).unwrap_or_else(|| panic!("unallocated shared address {cur:#x}"));
             let next = b.start + b.len;
             out.push(b);
             cur = next;

@@ -22,7 +22,9 @@ use crate::space::Addr;
 pub const INVALID_FLAG: u32 = 0xDEAD_BEEF;
 
 /// Coherence state of a line in the shared (per-node) state table.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 #[repr(u8)]
 pub enum LineState {
     /// No valid copy on this node.
@@ -71,7 +73,9 @@ impl LineState {
 /// Private entries are a conservative summary of what the processor itself
 /// has established: `Invalid` means "must enter the protocol", not
 /// necessarily "no copy on the node".
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 #[repr(u8)]
 pub enum PrivState {
     /// Accesses must enter the protocol.

@@ -72,7 +72,7 @@ fn fence_semantics() {
             dsm.fence(); // no-op fence
             dsm.store_u64(a, 9); // remote write miss, non-blocking
             dsm.fence(); // must wait for the write to complete
-            // After the fence the block is exclusively ours.
+                         // After the fence the block is exclusively ours.
             assert_eq!(dsm.load_u64(a), 9);
         }
         dsm.barrier(0);

@@ -64,10 +64,7 @@ fn busy_home_gets_relieved_by_a_sibling() {
     }));
     assert!(stats.load_balanced_requests >= 1, "a sibling serviced the request");
     let us = stats.read_latency_cycles as f64 / stats.read_latency_count.max(1) as f64 / 300.0;
-    assert!(
-        us < 200.0,
-        "load balancing should hide the home's poll gap (mean latency {us:.1} us)"
-    );
+    assert!(us < 200.0, "load balancing should hide the home's poll gap (mean latency {us:.1} us)");
 }
 
 /// Same scenario without the extension: the request waits for the home.
@@ -76,24 +73,22 @@ fn without_load_balancing_the_request_waits() {
     let topo = Topology::new(8, 4, 4).unwrap();
     let mut m = Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::smp(), 1 << 20);
     let a = m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
-    let stats = m.run(bodies(8, move |p, dsm| {
-        match p {
-            0 => {
-                dsm.compute(2_000_000);
+    let stats = m.run(bodies(8, move |p, dsm| match p {
+        0 => {
+            dsm.compute(2_000_000);
+            dsm.poll();
+        }
+        1..=3 => {
+            for _ in 0..4_000 {
+                dsm.compute(50);
                 dsm.poll();
             }
-            1..=3 => {
-                for _ in 0..4_000 {
-                    dsm.compute(50);
-                    dsm.poll();
-                }
-            }
-            4 => {
-                dsm.compute(1_000);
-                assert_eq!(dsm.load_u64(a), 0);
-            }
-            _ => {}
         }
+        4 => {
+            dsm.compute(1_000);
+            assert_eq!(dsm.load_u64(a), 0);
+        }
+        _ => {}
     }));
     assert_eq!(stats.load_balanced_requests, 0);
     let us = stats.mean_read_latency() / 300.0;

@@ -80,7 +80,6 @@ fn remote_and_local_fetch_latency_calibration() {
     assert!(local < remote);
 }
 
-
 /// Clustering effect: once one processor fetches remote data, its node
 /// mates hit locally (private-state-table upgrades, no second remote miss).
 #[test]
@@ -224,7 +223,11 @@ fn upgrade_requests_skip_data_transfer() {
         dsm.barrier(0);
     }));
     assert_eq!(stats.misses.get(MissKind::Upgrade, Hops::Two), 1);
-    assert_eq!(stats.misses.get(MissKind::Write, Hops::Two) + stats.misses.get(MissKind::Write, Hops::Three), 0);
+    assert_eq!(
+        stats.misses.get(MissKind::Write, Hops::Two)
+            + stats.misses.get(MissKind::Write, Hops::Three),
+        0
+    );
 }
 
 /// Requester, home, and owner all distinct: the read is 3-hop.

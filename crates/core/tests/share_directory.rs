@@ -2,10 +2,10 @@
 //! a requester colocated with the home looks up and modifies directory
 //! state directly, eliminating the intra-node request hop.
 
+use shasta_cluster::{CostModel, Topology};
 use shasta_core::api::Dsm;
 use shasta_core::protocol::{Machine, ProtocolConfig};
 use shasta_core::space::{BlockHint, HomeHint};
-use shasta_cluster::{CostModel, Topology};
 use shasta_sim::SplitMix64;
 use shasta_stats::MsgClass;
 
@@ -36,7 +36,7 @@ fn colocated_requests_skip_the_message() {
     let run = |share: bool| {
         let mut m = machine(share);
         let a = m.setup(|s| s.malloc(64, BlockHint::Line, HomeHint::Explicit(0)));
-        
+
         m.run(bodies(move |p, dsm| {
             if p == 4 {
                 dsm.store_u64(a, 44);

@@ -54,7 +54,7 @@
 //! });
 //! ```
 
-use std::sync::atomic::{AtomicU32, AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -198,7 +198,10 @@ impl FgDsm {
     /// zero.
     pub fn new(cfg: Config) -> Self {
         assert!(cfg.nodes > 0 && cfg.threads_per_node > 0, "empty topology");
-        assert!(cfg.words > 0 && cfg.words.is_multiple_of(LINE_WORDS), "words must be line-aligned");
+        assert!(
+            cfg.words > 0 && cfg.words.is_multiple_of(LINE_WORDS),
+            "words must be line-aligned"
+        );
         let lines = cfg.words / LINE_WORDS;
         let nodes = (0..cfg.nodes)
             .map(|n| Node {
@@ -213,7 +216,11 @@ impl FgDsm {
                         (0..lines)
                             .map(|_| {
                                 // Thread 0 of node 0 is the initializer/owner.
-                                AtomicU8::new(if n == 0 && t == 0 { ST_EXCLUSIVE } else { ST_INVALID })
+                                AtomicU8::new(if n == 0 && t == 0 {
+                                    ST_EXCLUSIVE
+                                } else {
+                                    ST_INVALID
+                                })
                             })
                             .collect()
                     })
@@ -236,9 +243,9 @@ impl FgDsm {
         FgDsm {
             inner: Arc::new(Inner {
                 nodes,
-                dir: (0..lines).map(|_| {
-                    Mutex::new(DirEntry { sharers: 1, owner: 0, exclusive: true })
-                }).collect(),
+                dir: (0..lines)
+                    .map(|_| Mutex::new(DirEntry { sharers: 1, owner: 0, exclusive: true }))
+                    .collect(),
                 inboxes,
                 app_locks: (0..256).map(|_| AtomicU32::new(u32::MAX)).collect(),
                 barrier_count: AtomicU32::new(0),
@@ -526,7 +533,11 @@ impl<'a> Handle<'a> {
         let inner = self.inner;
         let me = self.node;
         // Find a node with a valid copy to source the data from.
-        let src = if dir.exclusive { dir.owner } else { (0..64).find(|n| dir.sharers & (1 << n) != 0).expect("no copy") as u32 };
+        let src = if dir.exclusive {
+            dir.owner
+        } else {
+            (0..64).find(|n| dir.sharers & (1 << n) != 0).expect("no copy") as u32
+        };
         // Downgrade every other holder as required.
         if exclusive {
             let holders: Vec<u32> =
@@ -554,16 +565,15 @@ impl<'a> Handle<'a> {
             // Force a deschedule so victim threads run inside the window
             // (essential on single-CPU hosts, where `yield_now` under CFS
             // often does nothing and preemption is the only concurrency).
-            std::thread::sleep(std::time::Duration::from_micros(
-                inner.cfg.naive_race_spin as u64,
-            ));
+            std::thread::sleep(std::time::Duration::from_micros(inner.cfg.naive_race_spin as u64));
         }
         if exclusive {
             for n in 0..inner.cfg.nodes {
                 if n != me && dir.sharers & (1 << n) != 0 {
                     let base = line * LINE_WORDS;
                     for w in 0..LINE_WORDS {
-                        inner.nodes[n as usize].mem[base + w].store(INVALID_FLAG, Ordering::Relaxed);
+                        inner.nodes[n as usize].mem[base + w]
+                            .store(INVALID_FLAG, Ordering::Relaxed);
                     }
                 }
             }
@@ -583,10 +593,7 @@ impl<'a> Handle<'a> {
         let me = self.node * self.inner.cfg.threads_per_node + self.thread;
         let word = &self.inner.app_locks[id % self.inner.app_locks.len()];
         loop {
-            if word
-                .compare_exchange(u32::MAX, me, Ordering::Acquire, Ordering::Relaxed)
-                .is_ok()
-            {
+            if word.compare_exchange(u32::MAX, me, Ordering::Acquire, Ordering::Relaxed).is_ok() {
                 return;
             }
             self.poll();
@@ -628,7 +635,8 @@ mod tests {
 
     #[test]
     fn single_thread_round_trip() {
-        let dsm = FgDsm::new(Config { nodes: 1, threads_per_node: 1, words: 64, ..Config::default() });
+        let dsm =
+            FgDsm::new(Config { nodes: 1, threads_per_node: 1, words: 64, ..Config::default() });
         dsm.run(|h| {
             for i in 0..64 {
                 h.store(i, i as u32 * 3);
@@ -641,7 +649,8 @@ mod tests {
 
     #[test]
     fn flag_valued_data_false_miss() {
-        let dsm = FgDsm::new(Config { nodes: 2, threads_per_node: 1, words: 16, ..Config::default() });
+        let dsm =
+            FgDsm::new(Config { nodes: 2, threads_per_node: 1, words: 16, ..Config::default() });
         dsm.run(|h| {
             if h.node() == 0 {
                 h.store(0, INVALID_FLAG);

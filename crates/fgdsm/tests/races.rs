@@ -137,10 +137,7 @@ fn naive_downgrades_lose_stores() {
             break;
         }
     }
-    assert!(
-        lost_total > 0,
-        "the naive protocol should exhibit the Figure 2(a) lost-update race"
-    );
+    assert!(lost_total > 0, "the naive protocol should exhibit the Figure 2(a) lost-update race");
 }
 
 /// Per-location coherence: a single writer increments one word; concurrent
@@ -298,10 +295,7 @@ fn batches_never_observe_flag_values() {
                 }
                 let words = h.load_range(0, LINE_WORDS);
                 for (w, v) in words.iter().enumerate() {
-                    assert!(
-                        *v != INVALID_FLAG,
-                        "flag value leaked into a batch at word {w}"
-                    );
+                    assert!(*v != INVALID_FLAG, "flag value leaked into a batch at word {w}");
                 }
             }
         } else if h.thread() == 0 {
@@ -317,6 +311,117 @@ fn batches_never_observe_flag_values() {
         h.barrier();
     });
     assert!(dsm.stats().line_transfers > 2, "the line migrated during the batches");
+}
+
+/// Figure 2(b): exclusive→shared downgrades racing local stores. Node 0's
+/// threads keep a line exclusive by incrementing their own words while node
+/// 1's readers repeatedly pull it shared, so every read forces a downgrade
+/// of in-flight writers. No increment may be lost across the repeated
+/// exclusive→shared→exclusive cycling, and readers must only ever observe
+/// application data (never a flag value) that moves forward per word.
+#[test]
+fn exclusive_to_shared_downgrade_under_concurrent_readers() {
+    let cfg = Config {
+        nodes: 2,
+        threads_per_node: 3,
+        words: LINE_WORDS,
+        poll_interval: 4,
+        ..Config::default()
+    };
+    let dsm = FgDsm::new(cfg);
+    let iters = 8_192u32;
+    dsm.run(|h| {
+        h.barrier();
+        if h.node() == 0 {
+            let me = h.thread() as usize;
+            for i in 0..iters {
+                if i % 512 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(30));
+                }
+                let v = h.load(me);
+                h.store(me, v.wrapping_add(1));
+            }
+        } else {
+            let mut last = [0u32; 3];
+            for i in 0..iters / 2 {
+                if i % 256 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(40));
+                }
+                for (w, floor) in last.iter_mut().enumerate() {
+                    let v = h.load(w);
+                    assert_ne!(v, INVALID_FLAG, "flag value escaped to a reader");
+                    assert!(v >= *floor, "word {w} went backwards: {v} < {floor}");
+                    assert!(v <= iters, "word {w} overshot: {v}");
+                    *floor = v;
+                }
+            }
+        }
+        h.barrier();
+    });
+    let out = std::sync::Mutex::new(vec![0u32; 3]);
+    dsm.run(|h| {
+        if h.node() == 1 && h.thread() == 0 {
+            let mut o = out.lock().unwrap();
+            for w in 0..3 {
+                o[w] = h.load(w);
+            }
+        }
+    });
+    for (w, v) in out.into_inner().unwrap().iter().enumerate() {
+        assert_eq!(*v, iters, "word {w} lost increments across read downgrades");
+    }
+    let stats = dsm.stats();
+    assert!(stats.downgrade_messages > 0, "read downgrades were exercised");
+    assert!(stats.line_transfers > 2, "the line cycled between the nodes");
+}
+
+/// Figure 2(c): shared→invalid downgrades racing local loads. All of node
+/// 0's threads read a line they hold shared — so each holds a private-state
+/// entry and each receives a downgrade message — while node 1's writer
+/// repeatedly invalidates the line with stores. A load concurrent with the
+/// invalidation may legally return the pre-invalidation value (release
+/// consistency), but must never observe a flag value or travel backwards.
+#[test]
+fn shared_to_invalid_downgrade_under_concurrent_readers() {
+    let cfg = Config {
+        nodes: 2,
+        threads_per_node: 3,
+        words: LINE_WORDS,
+        poll_interval: 4,
+        ..Config::default()
+    };
+    let dsm = FgDsm::new(cfg);
+    let iters = 20_000u32;
+    dsm.run(|h| {
+        h.barrier();
+        if h.node() == 1 && h.thread() == 0 {
+            for i in 1..=iters {
+                if i % 2_048 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                h.store(0, i);
+            }
+        } else if h.node() == 0 {
+            let mut last = 0u32;
+            for i in 0..iters / 2 {
+                if i % 512 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(20));
+                }
+                let v = h.load(0);
+                assert_ne!(v, INVALID_FLAG, "flag value escaped to a reader");
+                assert!(v >= last, "value went backwards: {v} < {last}");
+                assert!(v <= iters, "value overshot: {v}");
+                last = v;
+            }
+        }
+        h.barrier();
+        if h.node() == 0 && h.thread() == 0 {
+            assert_eq!(h.load(0), iters, "final value lost the last store");
+        }
+    });
+    let stats = dsm.stats();
+    assert!(stats.downgrade_messages > 0, "invalidation downgrades were exercised");
+    assert!(stats.line_transfers > 2, "the line cycled between the nodes");
 }
 
 /// Batch miss handling fetches once and then runs from the private state.

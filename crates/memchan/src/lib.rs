@@ -182,8 +182,7 @@ impl<M: Eq> Network<M> {
             // link is occupied for the per-byte transmission time.
             let node = usize::from(self.topo.phys_node_of(src));
             let depart = self.link_free[node].max(now);
-            let occupancy =
-                self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
+            let occupancy = self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
             self.link_free[node] = depart + occupancy;
             depart + occupancy + self.cost.mc_oneway_cycles
         };
@@ -248,8 +247,7 @@ impl<M: Eq> Network<M> {
         } else {
             let node = usize::from(self.topo.phys_node_of(src));
             let depart = self.link_free[node].max(now);
-            let occupancy =
-                self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
+            let occupancy = self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
             self.link_free[node] = depart + occupancy;
             depart + occupancy + self.cost.mc_oneway_cycles
         };

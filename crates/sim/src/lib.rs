@@ -43,10 +43,12 @@
 
 pub mod fiber;
 pub mod rng;
+pub mod sched;
 pub mod time;
 pub mod trace;
 
 pub use fiber::{FiberApi, FiberBody, FiberPool, Resumed};
 pub use rng::SplitMix64;
+pub use sched::{SchedulePolicy, Scheduler};
 pub use time::Time;
 pub use trace::{Trace, TraceEvent};

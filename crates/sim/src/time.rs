@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t - Time::ZERO, 1_200);
 /// assert_eq!(t.max(Time::ZERO), t);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 pub struct Time(u64);
 
 impl Time {

@@ -65,7 +65,13 @@ impl Trace {
     }
 
     /// Records an event; `detail` is only evaluated when tracing is enabled.
-    pub fn record(&mut self, time: Time, proc: u32, label: &'static str, detail: impl FnOnce() -> String) {
+    pub fn record(
+        &mut self,
+        time: Time,
+        proc: u32,
+        label: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -85,6 +91,25 @@ impl Trace {
         use fmt::Write as _;
         let mut out = String::new();
         for e in &self.events {
+            let _ = writeln!(out, "{e}");
+        }
+        out
+    }
+
+    /// Renders only the last `n` recorded events, noting how many were
+    /// elided (used in checker counterexample dumps, where the failing
+    /// window matters more than the full history).
+    pub fn render_tail(&self, n: usize) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        if !self.is_enabled() {
+            return out;
+        }
+        let skipped = self.events.len().saturating_sub(n);
+        if skipped > 0 {
+            let _ = writeln!(out, "... {skipped} earlier events elided ...");
+        }
+        for e in self.events.iter().skip(skipped) {
             let _ = writeln!(out, "{e}");
         }
         out
@@ -122,5 +147,32 @@ mod tests {
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("P2"));
         assert!(s.contains("miss"));
+    }
+
+    #[test]
+    fn render_tail_elides_older_events() {
+        let mut t = Trace::bounded(16);
+        for i in 0..10u64 {
+            t.record(Time::from_cycles(i), 0, "e", || i.to_string());
+        }
+        let s = t.render_tail(3);
+        assert_eq!(s.lines().count(), 4, "elision note plus the 3 kept events");
+        assert!(s.starts_with("... 7 earlier events elided ..."));
+        assert!(s.contains(": 7\n") && s.contains(": 9\n"), "kept the newest events");
+        assert!(!s.contains(": 6\n"), "older events are gone");
+    }
+
+    #[test]
+    fn render_tail_without_overflow_has_no_elision_note() {
+        let mut t = Trace::bounded(16);
+        t.record(Time::from_cycles(1), 1, "only", || "x".into());
+        let s = t.render_tail(8);
+        assert_eq!(s.lines().count(), 1);
+        assert!(!s.contains("elided"));
+    }
+
+    #[test]
+    fn render_tail_of_disabled_trace_is_empty() {
+        assert_eq!(Trace::disabled().render_tail(8), "");
     }
 }

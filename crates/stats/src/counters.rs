@@ -24,8 +24,14 @@ pub enum TimeCat {
 
 impl TimeCat {
     /// All categories in the paper's stacking order.
-    pub const ALL: [TimeCat; 6] =
-        [TimeCat::Task, TimeCat::Read, TimeCat::Write, TimeCat::Sync, TimeCat::Message, TimeCat::Other];
+    pub const ALL: [TimeCat; 6] = [
+        TimeCat::Task,
+        TimeCat::Read,
+        TimeCat::Write,
+        TimeCat::Sync,
+        TimeCat::Message,
+        TimeCat::Other,
+    ];
 
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
@@ -321,8 +327,7 @@ impl DowngradeHist {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.buckets.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
+        let weighted: u64 = self.buckets.iter().enumerate().map(|(i, &c)| i as u64 * c).sum();
         weighted as f64 / total as f64
     }
 

@@ -12,8 +12,14 @@ fn main() {
     let app = (spec.build)(Preset::Default, false);
 
     let seq = run_app(app.as_ref(), &RunConfig::new(Proto::Sequential, 1, 1)).elapsed_cycles;
-    println!("Ocean, 16 processors on 4 nodes (sequential = {:.2} simulated s)\n", seq as f64 / 300e6);
-    println!("{:<22} {:>8} {:>9} {:>9} {:>10}", "configuration", "speedup", "misses", "messages", "downgrades");
+    println!(
+        "Ocean, 16 processors on 4 nodes (sequential = {:.2} simulated s)\n",
+        seq as f64 / 300e6
+    );
+    println!(
+        "{:<22} {:>8} {:>9} {:>9} {:>10}",
+        "configuration", "speedup", "misses", "messages", "downgrades"
+    );
 
     let base = run_app(app.as_ref(), &RunConfig::new(Proto::Base, 16, 1));
     println!(

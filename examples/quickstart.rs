@@ -15,8 +15,7 @@ use shasta::stats::MsgClass;
 fn main() {
     // The paper's prototype: 4 AlphaServer 4100s x 4 processors, clustered 4.
     let topo = Topology::new(16, 4, 4).expect("valid topology");
-    let mut machine =
-        Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::smp(), 1 << 20);
+    let mut machine = Machine::new(topo, CostModel::alpha_4100(), ProtocolConfig::smp(), 1 << 20);
 
     // Shared data: a message buffer and a counter, homed at processor 0.
     let (buffer, counter) = machine.setup(|s| {

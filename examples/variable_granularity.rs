@@ -8,7 +8,10 @@ use shasta::apps::{registry, run_app, Preset, Proto, RunConfig};
 
 fn main() {
     println!("Table 2 in miniature: 16-processor Base-Shasta speedups\n");
-    println!("{:<12} {:>12} {:>12} {:>9} -> {:>9}", "app", "64B blocks", "hinted", "misses", "misses");
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} -> {:>9}",
+        "app", "64B blocks", "hinted", "misses", "misses"
+    );
     for name in ["LU", "LU-Contig", "Water-Nsq", "Volrend"] {
         let spec = registry().into_iter().find(|s| s.name == name).expect("registered");
         let app = (spec.build)(Preset::Default, false);

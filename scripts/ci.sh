@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, tier-1 tests, and a bounded
+# schedule-exploration sweep. Everything here must pass before merging.
+#
+# Usage: scripts/ci.sh          (from anywhere; cd's to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> bounded schedule sweep (64 seeds, oracle validation included)"
+# 64 seeds x 5 scenarios x 2 policies = 640 schedules, plus the sweep
+# against both injected-bug variants; completes in seconds in release mode
+# (budget: < 60 s).
+cargo run --release -p shasta-check --bin check -- --seeds 64 --quiet
+
+echo "CI OK"

@@ -26,10 +26,7 @@ struct Phase {
 }
 
 fn phase_strategy(procs: u8, slots: usize) -> impl Strategy<Value = Phase> {
-    (
-        proptest::collection::vec(0..procs, slots),
-        proptest::collection::vec(any::<u8>(), slots),
-    )
+    (proptest::collection::vec(0..procs, slots), proptest::collection::vec(any::<u8>(), slots))
         .prop_map(|(writers, readers)| Phase { writers, readers })
 }
 
@@ -83,7 +80,7 @@ fn run_program(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn randomized_programs_read_last_writes_base(program in program_strategy(8, 6)) {

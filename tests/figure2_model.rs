@@ -126,7 +126,11 @@ fn step_p1<P: Copy>(s: &State<P>) -> Vec<State<P>> {
     out
 }
 
-fn explore<P2PC, FP2>(initial: State<P2PC>, step_p2: FP2, done: fn(&State<P2PC>) -> bool) -> (bool, usize)
+fn explore<P2PC, FP2>(
+    initial: State<P2PC>,
+    step_p2: FP2,
+    done: fn(&State<P2PC>) -> bool,
+) -> (bool, usize)
 where
     P2PC: Copy + Eq + std::hash::Hash,
     FP2: Fn(&State<P2PC>) -> Vec<State<P2PC>>,

@@ -20,8 +20,7 @@ fn smp_checks_cost_more_than_base_checks_on_average() {
         let seq = run_app(app.as_ref(), &RunConfig::new(Proto::Sequential, 1, 1)).elapsed_cycles;
         let base =
             run_app(app.as_ref(), &RunConfig::new(Proto::CheckedSeqBase, 1, 1)).elapsed_cycles;
-        let smp =
-            run_app(app.as_ref(), &RunConfig::new(Proto::CheckedSeqSmp, 1, 1)).elapsed_cycles;
+        let smp = run_app(app.as_ref(), &RunConfig::new(Proto::CheckedSeqSmp, 1, 1)).elapsed_cycles;
         assert!(base > seq, "{}: checks must cost something", spec.name);
         base_sum += base as f64 / seq as f64;
         smp_sum += smp as f64 / seq as f64;

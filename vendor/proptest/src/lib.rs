@@ -1,0 +1,203 @@
+//! Offline mini property-testing framework exposing the subset of the
+//! `proptest` surface this workspace uses: the `proptest!` macro, integer
+//! range / tuple / `any` / mapped strategies, `collection::vec`,
+//! `prop_assert*` / `prop_assume!`, and `ProptestConfig { cases }`.
+//!
+//! Differences from real proptest: no shrinking (each test prints the
+//! generated inputs of a failing case instead, which is enough to reproduce
+//! deterministically because case seeds are fixed), and the default case
+//! count is 32.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number of elements a [`vec`] strategy may generate: `n` (exact) or
+    /// `lo..hi` (half-open).
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `elem`-generated values.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.hi - self.size.lo <= 1 {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident
+        ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __inputs = format!(
+                        concat!("case ", "{}", $(": ", stringify!($arg), " = {:?}"),*),
+                        __case $(, &$arg)*
+                    );
+                    let __r = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        move || { $body }
+                    ));
+                    if let Err(e) = __r {
+                        eprintln!("[proptest stub] failing {__inputs}");
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..3) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_sizes_and_tuples(
+            v in crate::collection::vec((0u8..4, any::<u8>()), 2..9),
+            exact in crate::collection::vec(0u32..10, 5),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert_eq!(exact.len(), 5);
+            for (a, _b) in v {
+                prop_assert!(a < 4);
+            }
+        }
+
+        #[test]
+        fn prop_map_and_assume(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            let doubled = Just(n).prop_map(|x| x * 2);
+            let mut rng = crate::test_runner::TestRng::for_case(0);
+            prop_assert_eq!(doubled.generate(&mut rng), n * 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7 })]
+        #[test]
+        fn config_form_compiles(_x in 0i64..5) {}
+    }
+
+    #[test]
+    fn same_case_reproduces() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 1..20);
+        let a = s.generate(&mut crate::test_runner::TestRng::for_case(3));
+        let b = s.generate(&mut crate::test_runner::TestRng::for_case(3));
+        assert_eq!(a, b);
+    }
+}

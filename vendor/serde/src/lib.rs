@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace marks types `Serialize`/`Deserialize` for future wire and
+//! report formats but never serializes today, and this build environment
+//! cannot fetch crates.io. This stub provides the two trait names and
+//! re-exports the no-op derives so `#[derive(Serialize, Deserialize)]`
+//! compiles unchanged. Swap back to real serde by restoring the crates.io
+//! entries in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name and lifetime shape.
+pub trait Deserialize<'de> {}

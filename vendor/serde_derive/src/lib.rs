@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives these traits only as forward-looking markers; no
+//! code path serializes yet, and the build environment has no network to
+//! fetch the real `serde_derive`. These derives accept the same syntax
+//! (including `#[serde(...)]` attributes) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
