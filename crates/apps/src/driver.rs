@@ -160,6 +160,33 @@ impl RunConfig {
 /// protocol-invariant violations (all of which indicate bugs, not expected
 /// runtime conditions).
 pub fn run_app(app: &dyn DsmApp, cfg: &RunConfig) -> RunStats {
+    let (mut machine, bodies) = build_machine(app, cfg);
+    machine.run(bodies)
+}
+
+/// Runs `app` under `cfg` with event recording enabled and returns both the
+/// statistics and the captured event log.
+///
+/// `ring_capacity` bounds the per-processor event ring: when it overflows,
+/// the oldest events are dropped (the drop count is preserved) but the
+/// Figure-4 aggregation stays exact because time slices are folded into the
+/// aggregator before ring insertion.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_app`].
+pub fn run_app_observed(
+    app: &dyn DsmApp,
+    cfg: &RunConfig,
+    ring_capacity: usize,
+) -> (RunStats, shasta_obs::EventLog) {
+    let (mut machine, bodies) = build_machine(app, cfg);
+    machine.enable_obs(ring_capacity);
+    let stats = machine.run(bodies);
+    (stats, machine.take_obs())
+}
+
+fn build_machine(app: &dyn DsmApp, cfg: &RunConfig) -> (Machine, Vec<Body>) {
     let (procs, topo, proto_cfg) = match cfg.proto {
         Proto::Base => {
             let topo = Topology::paper_placement(cfg.procs, 1).expect("topology");
@@ -203,7 +230,7 @@ pub fn run_app(app: &dyn DsmApp, cfg: &RunConfig) -> RunStats {
     let opts =
         PlanOpts { procs, variable_granularity: cfg.variable_granularity, validate: cfg.validate };
     let bodies = machine.setup(|s| app.plan(s, &opts));
-    machine.run(bodies)
+    (machine, bodies)
 }
 
 /// Convenience: the sequential (no checks) execution time of `app`, the

@@ -44,5 +44,6 @@ pub mod volrend;
 pub mod water;
 
 pub use driver::{
-    registry, run_app, sequential_cycles, AppSpec, Body, DsmApp, PlanOpts, Preset, Proto, RunConfig,
+    registry, run_app, run_app_observed, sequential_cycles, AppSpec, Body, DsmApp, PlanOpts,
+    Preset, Proto, RunConfig,
 };

@@ -1,12 +1,34 @@
 //! Figure 4: execution-time breakdowns for 8- and 16-processor runs on
 //! Base-Shasta ("B") and SMP-Shasta with clustering 1, 2 and 4 ("C1", "C2",
 //! "C4"), normalized to the Base-Shasta run of each application.
+//!
+//! The breakdowns are **derived from the structured event stream** (the
+//! `Slice` events recorded by `shasta-obs`), not read off the ad-hoc
+//! counters: every run is cross-checked against the `shasta-stats` breakdown
+//! and the binary panics on any divergence, so the two accountings can never
+//! drift apart silently. Pass `--trace <path>` to also export the first
+//! run's timeline as Chrome `trace_event` JSON.
 
 use shasta_apps::{registry, Proto};
-use shasta_bench::{breakdown_bar, preset_from_args, run};
+use shasta_bench::{
+    breakdown_bar_from, preset_from_args, run_observed, trace_path_from_args, write_chrome_trace,
+};
+use shasta_obs::EventLog;
+use shasta_stats::RunStats;
+
+/// Cross-checks the event-derived breakdown against the counter-based one,
+/// then renders the bar from the event-derived numbers.
+fn derived_bar(label: &str, stats: &RunStats, log: &EventLog, norm: u64) -> String {
+    let agg = log.fig4();
+    if let Err(e) = agg.crosscheck(stats) {
+        panic!("event/counter breakdown divergence: {e}");
+    }
+    breakdown_bar_from(label, &agg.total_breakdown(), stats.elapsed_cycles, norm)
+}
 
 fn main() {
     let preset = preset_from_args();
+    let mut trace = trace_path_from_args();
     println!(
         "Figure 4: execution-time breakdowns, normalized to Base-Shasta ({preset:?} inputs)\n"
     );
@@ -14,12 +36,15 @@ fn main() {
         println!("=== {procs}-processor runs ===");
         for spec in registry() {
             println!("{}:", spec.name);
-            let base = run(&spec, preset, Proto::Base, procs, 1, false);
+            let (base, log) = run_observed(&spec, preset, Proto::Base, procs, 1, false);
             let norm = base.elapsed_cycles;
-            println!("  {}", breakdown_bar("B", &base, norm));
+            println!("  {}", derived_bar("B", &base, &log, norm));
+            if let Some(path) = trace.take() {
+                write_chrome_trace(&path, &log);
+            }
             for clustering in [1u32, 2, 4] {
-                let st = run(&spec, preset, Proto::Smp, procs, clustering, false);
-                println!("  {}", breakdown_bar(&format!("C{clustering}"), &st, norm));
+                let (st, log) = run_observed(&spec, preset, Proto::Smp, procs, clustering, false);
+                println!("  {}", derived_bar(&format!("C{clustering}"), &st, &log, norm));
             }
         }
         println!();

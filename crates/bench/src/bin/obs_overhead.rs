@@ -1,0 +1,115 @@
+//! Measures the host-side cost of the `shasta-obs` tracing layer on the
+//! Table 2 kernels and writes `BENCH_obs_overhead.json`.
+//!
+//! Each application runs twice at the same configuration (Base-Shasta,
+//! 8 processors): once with the recorder disabled (the default — one
+//! predicted branch per hook) and once with full event recording into the
+//! per-processor rings. Simulated cycle counts must be bit-identical —
+//! observation never advances the simulated clock — and the JSON records
+//! the host wall-time ratio, which is the only real cost of the layer.
+//!
+//! ```text
+//! obs_overhead [--preset tiny|default|large] [--reps N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use shasta_apps::Proto;
+use shasta_bench::{apps_for, preset_from_args, run, run_observed};
+
+const PROCS: u32 = 8;
+
+struct Row {
+    name: &'static str,
+    cycles_off: u64,
+    cycles_on: u64,
+    wall_off_ms: f64,
+    wall_on_ms: f64,
+    events: usize,
+}
+
+impl Row {
+    fn overhead_pct(&self) -> f64 {
+        (self.wall_on_ms / self.wall_off_ms - 1.0) * 100.0
+    }
+}
+
+fn main() {
+    let preset = preset_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let reps: u32 = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_obs_overhead.json".to_string());
+
+    let mut rows = Vec::new();
+    for spec in apps_for(true, false) {
+        // Best-of-N wall time filters scheduler noise on the host.
+        let mut wall_off = f64::INFINITY;
+        let mut wall_on = f64::INFINITY;
+        let mut cycles_off = 0;
+        let mut cycles_on = 0;
+        let mut events = 0;
+        for _ in 0..reps {
+            let t = Instant::now();
+            cycles_off = run(&spec, preset, Proto::Base, PROCS, 1, false).elapsed_cycles;
+            wall_off = wall_off.min(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            let (stats, log) = run_observed(&spec, preset, Proto::Base, PROCS, 1, false);
+            wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
+            cycles_on = stats.elapsed_cycles;
+            events = log.len() + log.dropped() as usize;
+        }
+        let row = Row {
+            name: spec.name,
+            cycles_off,
+            cycles_on,
+            wall_off_ms: wall_off,
+            wall_on_ms: wall_on,
+            events,
+        };
+        println!(
+            "{:<10} cycles off/on {}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%), {} events",
+            row.name,
+            row.cycles_off,
+            row.cycles_on,
+            if row.cycles_off == row.cycles_on { "identical" } else { "DIVERGED" },
+            row.wall_off_ms,
+            row.wall_on_ms,
+            row.overhead_pct(),
+            row.events,
+        );
+        rows.push(row);
+    }
+
+    let identical = rows.iter().all(|r| r.cycles_off == r.cycles_on);
+    let max_pct = rows.iter().map(Row::overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"preset\": \"{preset:?}\", \"proto\": \"Base\", \"procs\": {PROCS}, \"reps\": {reps}}},\n"
+    ));
+    json.push_str("  \"apps\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles_off\": {}, \"cycles_on\": {}, \"wall_ms_off\": {:.2}, \"wall_ms_on\": {:.2}, \"recording_overhead_pct\": {:.2}, \"events\": {}}}{}\n",
+            r.name,
+            r.cycles_off,
+            r.cycles_on,
+            r.wall_off_ms,
+            r.wall_on_ms,
+            r.overhead_pct(),
+            r.events,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"summary\": {{\"simulated_cycles_identical\": {identical}, \"max_recording_overhead_pct\": {max_pct:.2}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!(
+        "\nsimulated cycles identical: {identical}; max recording overhead {max_pct:.1}%\nwrote {out}"
+    );
+    assert!(identical, "recording must not perturb simulated time");
+}

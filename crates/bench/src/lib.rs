@@ -10,8 +10,14 @@
 //!
 //! Run them all with `cargo run --release -p shasta-bench --bin all_experiments`.
 
-use shasta_apps::{registry, run_app, AppSpec, Preset, Proto, RunConfig};
-use shasta_stats::{RunStats, TimeCat};
+use shasta_apps::{registry, run_app, run_app_observed, AppSpec, Preset, Proto, RunConfig};
+use shasta_obs::EventLog;
+use shasta_stats::{Breakdown, RunStats, TimeCat};
+
+/// Default per-processor event-ring capacity for observed runs: deep enough
+/// to keep the interesting tail of a Table 2 kernel while bounding memory.
+/// Figure-4 aggregation stays exact even when the ring overflows.
+pub const TRACE_RING_CAPACITY: usize = 65_536;
 
 /// The processor/clustering points of the paper's parallel runs: 2- and
 /// 4-processor runs use one node; 8 and 16 use two and four nodes (§4.3),
@@ -33,6 +39,25 @@ pub fn run(
         cfg = cfg.variable_granularity();
     }
     run_app(app.as_ref(), &cfg)
+}
+
+/// Runs `spec` at one configuration with event recording enabled, returning
+/// the statistics plus the captured event log (ring capacity
+/// [`TRACE_RING_CAPACITY`] per processor).
+pub fn run_observed(
+    spec: &AppSpec,
+    preset: Preset,
+    proto: Proto,
+    procs: u32,
+    clustering: u32,
+    vg: bool,
+) -> (RunStats, EventLog) {
+    let app = (spec.build)(preset, false);
+    let mut cfg = RunConfig::new(proto, procs, clustering);
+    if vg {
+        cfg = cfg.variable_granularity();
+    }
+    run_app_observed(app.as_ref(), &cfg, TRACE_RING_CAPACITY)
 }
 
 /// Sequential baseline cycles for `spec` at `preset`.
@@ -59,13 +84,39 @@ pub fn speedup(seq: u64, par: u64) -> String {
 /// percent plus the six category percentages — the textual analogue of one
 /// bar in Figures 4 and 5.
 pub fn breakdown_bar(label: &str, stats: &RunStats, norm: u64) -> String {
-    let total = stats.total_breakdown();
-    let scale = stats.elapsed_cycles as f64 / norm as f64 * 100.0;
+    breakdown_bar_from(label, &stats.total_breakdown(), stats.elapsed_cycles, norm)
+}
+
+/// Renders one execution-time bar from an explicit category breakdown and
+/// elapsed-cycle count — the shared backend of [`breakdown_bar`] and of the
+/// event-derived bars in `fig4_breakdown`.
+pub fn breakdown_bar_from(label: &str, total: &Breakdown, elapsed: u64, norm: u64) -> String {
+    let scale = elapsed as f64 / norm as f64 * 100.0;
     let mut out = format!("{label:<4} {scale:>6.1}% |");
     for cat in TimeCat::ALL {
         out.push_str(&format!(" {}={:>4.1}%", cat.label(), total.fraction(cat) * scale));
     }
     out
+}
+
+/// Parses the common `--trace <path>` CLI flag: when present, the binary
+/// exports a Chrome `trace_event` JSON timeline of its first observed run to
+/// `<path>` (load it in `chrome://tracing` or Perfetto).
+pub fn trace_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--trace")?;
+    args.get(i + 1).cloned()
+}
+
+/// Writes `log` as Chrome `trace_event` JSON to `path`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_chrome_trace(path: &str, log: &EventLog) {
+    std::fs::write(path, shasta_obs::chrome::to_chrome_json(log))
+        .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
+    eprintln!("wrote Chrome trace ({} events) to {path}", log.len());
 }
 
 /// Applications selected for a table, in registry order.

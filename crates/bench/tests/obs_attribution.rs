@@ -1,0 +1,155 @@
+//! The observability layer's accounting must agree with the engine's own
+//! counters on real workloads, and the Chrome exporter must produce JSON
+//! that survives a round trip through the bundled parser.
+//!
+//! These are the end-to-end guarantees behind `fig4_breakdown` deriving
+//! Figure 4 from the event stream: the `Slice` events are emitted at the
+//! same attribution points as the `shasta-stats` breakdowns, so the two
+//! accountings must match *exactly* (not approximately), and per processor
+//! the derived buckets plus idle gaps must tile the processor's entire
+//! simulated timeline.
+
+use proptest::prelude::*;
+use shasta_apps::{registry, run_app_observed, AppSpec, Preset, Proto, RunConfig};
+use shasta_bench::{apps_for, run_observed};
+use shasta_obs::{chrome, EventKind, EventLog};
+use shasta_stats::RunStats;
+
+/// The Table 2 kernels at tiny inputs, Base-Shasta and two SMP clusterings.
+fn table2_points() -> Vec<(AppSpec, Proto, u32)> {
+    let mut points = Vec::new();
+    for proto_clustering in [(Proto::Base, 1u32), (Proto::Smp, 2), (Proto::Smp, 4)] {
+        for spec in apps_for(true, false) {
+            points.push((spec, proto_clustering.0, proto_clustering.1));
+        }
+    }
+    points
+}
+
+fn assert_attribution_exact(name: &str, stats: &RunStats, log: &EventLog) {
+    let agg = log.fig4();
+    agg.crosscheck(stats).unwrap_or_else(|e| panic!("{name}: {e}"));
+    for p in 0..agg.procs() as u32 {
+        assert_eq!(
+            agg.breakdown(p).total() + agg.idle(p),
+            agg.span(p),
+            "{name}: P{p} buckets + idle must tile the timeline"
+        );
+    }
+    assert_eq!(
+        agg.max_span(),
+        stats.elapsed_cycles,
+        "{name}: derived end-to-end time must equal the measured one"
+    );
+}
+
+/// Event-derived Figure 4 buckets match the counter-based breakdowns
+/// exactly, and tile each processor's simulated time, on every Table 2
+/// kernel under Base-Shasta and clustered SMP-Shasta.
+#[test]
+fn derived_breakdown_matches_stats_on_table2_kernels() {
+    for (spec, proto, clustering) in table2_points() {
+        let (stats, log) = run_observed(&spec, Preset::Tiny, proto, 8, clustering, false);
+        let name = format!("{} {proto:?} c{clustering}", spec.name);
+        assert_attribution_exact(&name, &stats, &log);
+        assert!(!log.is_empty(), "{name}: an 8-processor run must record events");
+    }
+}
+
+/// An SMP run with false sharing exercises every event kind the protocol
+/// can emit; a Base run must emit none of the SMP-only kinds.
+#[test]
+fn event_kinds_cover_the_protocol_surface() {
+    let spec = &registry()[0]; // Barnes: heavy sharing, locks, and barriers.
+    let (_, smp) = run_observed(spec, Preset::Tiny, Proto::Smp, 8, 4, false);
+    let kinds: std::collections::HashSet<&str> = smp.iter().map(|e| e.kind.name()).collect();
+    for expected in [
+        "check-miss",
+        "msg-send",
+        "msg-recv",
+        "downgrade-start",
+        "downgrade-ack",
+        "downgrade-done",
+        "poll-drain",
+        "line-lock-acquire",
+        "line-lock-release",
+        "block-state",
+        "stall-begin",
+        "slice",
+    ] {
+        assert!(kinds.contains(expected), "SMP run missing {expected} events; saw {kinds:?}");
+    }
+    // Base-Shasta has no node mates: downgrades degenerate to local state
+    // changes (zero targets, so no acks) and there is no intra-node state
+    // lock to span.
+    let (_, base) = run_observed(spec, Preset::Tiny, Proto::Base, 8, 1, false);
+    for smp_only in ["downgrade-ack", "line-lock-acquire", "line-lock-release"] {
+        assert!(
+            !base.iter().any(|e| e.kind.name() == smp_only),
+            "Base-Shasta must not emit {smp_only} events"
+        );
+    }
+    for e in base.iter() {
+        if let EventKind::DowngradeStart { targets, .. } = e.kind {
+            assert_eq!(targets, 0, "a Base-Shasta downgrade never messages node mates");
+        }
+    }
+}
+
+/// The Chrome `trace_event` export of a real run re-parses, and the parsed
+/// document reflects the log: one complete ("X") event per retained slice,
+/// one instant ("i") event per other retained event, thread metadata per
+/// processor, and slice durations that re-sum to the derived breakdown.
+#[test]
+fn chrome_export_round_trips() {
+    let spec = &registry()[3]; // LU-Contig: small and fast at tiny inputs.
+    let (stats, log) = run_observed(spec, Preset::Tiny, Proto::Smp, 8, 4, false);
+    let json = chrome::to_chrome_json(&log);
+    let doc = chrome::parse(&json).expect("exporter must emit valid JSON");
+
+    let events = doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+    let slices = log.iter().filter(|e| matches!(e.kind, EventKind::Slice { .. })).count();
+    let instants = log.len() - slices;
+    let metadata = 1 + log.procs(); // process_name + one thread_name per proc
+    let ph = |want: &str| {
+        events.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(want)).count()
+    };
+    assert_eq!(ph("X"), slices, "one complete event per retained slice");
+    assert_eq!(ph("i"), instants, "one instant event per other retained event");
+    assert_eq!(ph("M"), metadata, "process + per-thread metadata");
+    assert_eq!(events.len(), log.len() + metadata);
+
+    // No ring eviction at tiny inputs, so the re-summed "X" durations are
+    // the full derived breakdown.
+    assert_eq!(log.dropped(), 0, "tiny run must fit the ring");
+    let dur_sum: u64 = events.iter().filter_map(|e| e.get("dur").and_then(|v| v.as_u64())).sum();
+    let derived: u64 = (0..log.procs() as u32).map(|p| log.fig4().breakdown(p).total()).sum();
+    assert_eq!(dur_sum, derived, "exported durations re-sum to the breakdown");
+    assert_eq!(stats.total_breakdown().total(), derived);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// The Figure 4 aggregation is independent of ring capacity: eviction
+    /// truncates the exported timeline (retained + dropped is invariant)
+    /// but never the derived breakdown.
+    #[test]
+    fn aggregation_is_ring_capacity_independent(cap in 16usize..4096) {
+        let spec = &registry()[3]; // LU-Contig
+        let cfg = RunConfig::new(Proto::Smp, 4, 2);
+        let app = (spec.build)(Preset::Tiny, false);
+        let (stats, log) = run_app_observed(app.as_ref(), &cfg, cap);
+        assert_attribution_exact(&format!("cap {cap}"), &stats, &log);
+        for p in 0..log.procs() as u32 {
+            let pe = log.proc(p);
+            prop_assert!(pe.events.len() <= cap, "ring must honour its capacity");
+        }
+        let (_, full) = run_app_observed(app.as_ref(), &cfg, usize::MAX >> 8);
+        prop_assert_eq!(
+            log.len() as u64 + log.dropped(),
+            full.len() as u64,
+            "retained + dropped is the full event count"
+        );
+    }
+}

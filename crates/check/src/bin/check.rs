@@ -3,8 +3,13 @@
 //! deliberately broken protocol variants.
 //!
 //! ```text
-//! check [--seeds N] [--skip-validation] [--quiet]
+//! check [--seeds N] [--skip-validation] [--quiet] [--trace PATH]
 //! ```
+//!
+//! `--trace PATH` exports a Chrome `trace_event` JSON timeline (open it in
+//! `chrome://tracing` or Perfetto): of the first counterexample's replay
+//! when the sweep fails, or of a deterministic run of the first scenario
+//! when it passes.
 //!
 //! Exit status: 0 when the correct protocol passes every schedule AND the
 //! broken variants are caught; 1 otherwise.
@@ -12,14 +17,20 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use shasta_check::{default_scenarios, sweep, validate_oracles};
+use shasta_check::{default_scenarios, replay_observed, sweep, validate_oracles};
 use shasta_core::BugInjection;
+use shasta_sim::SchedulePolicy;
+
+/// Per-processor event-ring capacity for `--trace` replays: the checker
+/// kernels are small, so this keeps the whole run.
+const TRACE_RING: usize = 16_384;
 
 fn main() -> ExitCode {
     let mut seeds: u64 = 170;
     let mut validate = true;
     let mut quiet = false;
     let mut only: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -33,9 +44,10 @@ fn main() -> ExitCode {
             "--skip-validation" => validate = false,
             "--quiet" => quiet = true,
             "--only" => only = Some(args.next().unwrap_or_default()),
+            "--trace" => trace = Some(args.next().unwrap_or_default()),
             "--help" | "-h" => {
                 println!(
-                    "usage: check [--seeds N] [--only NAME-SUBSTR] [--skip-validation] [--quiet]"
+                    "usage: check [--seeds N] [--only NAME-SUBSTR] [--skip-validation] [--quiet] [--trace PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -65,6 +77,23 @@ fn main() -> ExitCode {
             scenarios.len(),
             elapsed
         );
+    }
+    if let Some(path) = &trace {
+        // Replay the first counterexample so its timeline can be inspected
+        // visually; on a clean sweep trace a deterministic healthy run.
+        let (scenario, policy, bug) = match report.failures.first() {
+            Some(cx) => (cx.scenario, cx.policy, cx.bug),
+            None => (scenarios[0], SchedulePolicy::Deterministic, BugInjection::None),
+        };
+        let (outcome, log) = replay_observed(&scenario, policy, bug, TRACE_RING);
+        if let Err(e) = std::fs::write(path, shasta_obs::chrome::to_chrome_json(&log)) {
+            eprintln!("cannot write trace to {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !quiet {
+            let verdict = if outcome.is_ok() { "clean run" } else { "counterexample replay" };
+            println!("wrote Chrome trace ({verdict}, {} events) to {path}", log.len());
+        }
     }
     let mut ok = true;
     if report.failures.is_empty() {

@@ -241,12 +241,49 @@ fn run_scenario_inner(
     oracle: bool,
 ) -> (RunStats, String) {
     let mut m = build_machine(s, policy, bug, oracle);
+    let bodies = plan_kernel(&mut m, s);
+    let stats = m.run(bodies);
+    let trace = m.render_trace();
+    (stats, trace)
+}
+
+/// Replays a `(scenario, policy, bug)` triple with oracles *and* structured
+/// event recording enabled, returning the run outcome together with the
+/// captured [`shasta_obs::EventLog`]. An oracle violation becomes
+/// `Err(message)` instead of a panic, and the log still covers the run up to
+/// the violation — this is how a counterexample's timeline is exported for
+/// `chrome://tracing`.
+pub fn replay_observed(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+    ring_capacity: usize,
+) -> (Result<RunStats, String>, shasta_obs::EventLog) {
+    silence_expected_panics();
+    let mut m = build_machine(s, policy, bug, true);
+    m.enable_obs(ring_capacity);
+    let bodies = plan_kernel(&mut m, s);
+    let res = panic::catch_unwind(AssertUnwindSafe(|| m.run(bodies))).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    });
+    let log = m.take_obs();
+    (res, log)
+}
+
+/// Allocates the slot array and builds one kernel body per processor.
+fn plan_kernel(m: &mut Machine, s: &Scenario) -> Vec<Box<dyn FnOnce(Dsm) + Send>> {
     let procs = s.procs;
     let iters = s.iters;
     let slots =
         m.setup(|ctx| ctx.malloc(u64::from(procs) * 8, BlockHint::Line, HomeHint::Explicit(0)));
     let slot = move |i: u32| slots + u64::from(i) * 8;
-    let bodies: Vec<Box<dyn FnOnce(Dsm) + Send>> = (0..procs)
+    (0..procs)
         .map(|p| {
             let kernel = s.kernel;
             Box::new(move |mut dsm: Dsm| match kernel {
@@ -340,10 +377,7 @@ fn run_scenario_inner(
                 }
             }) as Box<dyn FnOnce(Dsm) + Send>
         })
-        .collect();
-    let stats = m.run(bodies);
-    let trace = m.render_trace();
-    (stats, trace)
+        .collect()
 }
 
 static QUIET: Once = Once::new();
@@ -471,6 +505,22 @@ mod tests {
         let plain = run_scenario(&s, SchedulePolicy::Deterministic, BugInjection::None, false);
         let checked = run_scenario(&s, SchedulePolicy::Deterministic, BugInjection::None, true);
         assert_eq!(plain, checked, "oracles must not perturb timing or stats");
+    }
+
+    #[test]
+    fn observed_replay_captures_counterexample_timeline() {
+        let scenarios = default_scenarios();
+        let report = sweep(&scenarios, 0..8, BugInjection::SkipDowngradeWait, 1);
+        let cx = report.failures.first().expect("injected bug must be caught");
+        let (outcome, log) = replay_observed(&cx.scenario, cx.policy, cx.bug, 16_384);
+        let err = outcome.expect_err("replaying a counterexample must fail again");
+        assert!(!err.is_empty());
+        assert!(!log.is_empty(), "the failing run must leave an event timeline");
+        assert_eq!(log.procs() as u32, cx.scenario.procs);
+        // A clean replay of the same scenario succeeds and also records.
+        let (ok, clean) = replay_observed(&cx.scenario, cx.policy, BugInjection::None, 16_384);
+        let stats = ok.expect("correct protocol passes");
+        clean.fig4().crosscheck(&stats).expect("derived breakdown matches counters");
     }
 
     #[test]

@@ -137,6 +137,14 @@ impl Machine {
                     let env = self.pop_inbound(p).expect("scheduled message vanished");
                     let t = self.clocks[p as usize].max(env.arrival);
                     self.clocks[p as usize] = t;
+                    self.obs_event(
+                        p,
+                        shasta_obs::EventKind::MsgRecv {
+                            msg: env.msg.label(),
+                            peer: env.src,
+                            block: env.msg.block_start(),
+                        },
+                    );
                     self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
                     self.handle_message(p, env.src, env.msg);
                 }
@@ -165,6 +173,7 @@ impl Machine {
     /// (the poll at an operation boundary / loop back-edge), including the
     /// node's shared incoming queue when load balancing is enabled.
     fn drain_messages(&mut self, p: u32) {
+        let mut handled = 0u32;
         loop {
             let now = self.clocks[p as usize];
             let own = self.net.peek_arrival(p).filter(|&a| a <= now);
@@ -180,8 +189,20 @@ impl Machine {
                 (None, None) => break,
             };
             let Some(env) = env else { break };
+            handled += 1;
+            self.obs_event(
+                p,
+                shasta_obs::EventKind::MsgRecv {
+                    msg: env.msg.label(),
+                    peer: env.src,
+                    block: env.msg.block_start(),
+                },
+            );
             self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
             self.handle_message(p, env.src, env.msg);
+        }
+        if handled > 0 {
+            self.obs_event(p, shasta_obs::EventKind::PollDrain { handled });
         }
     }
 
@@ -215,22 +236,27 @@ impl Machine {
     /// at resume, which is how the paper hides message handling under stall
     /// time).
     pub(crate) fn pay(&mut self, p: u32, cat: TimeCat, cycles: u64) {
+        let start = self.clocks[p as usize];
         self.clocks[p as usize] += cycles;
         if self.stalls[p as usize].is_none() {
             self.stats.breakdowns[p as usize].add(cat, cycles);
+            self.obs_slice(p, start, cat, cycles);
         }
     }
 
     /// Advances `p`'s clock by `cycles`, always attributing them to `cat`
     /// (used before a stall is recorded).
     pub(crate) fn charge(&mut self, p: u32, cat: TimeCat, cycles: u64) {
+        let start = self.clocks[p as usize];
         self.clocks[p as usize] += cycles;
         self.stats.breakdowns[p as usize].add(cat, cycles);
+        self.obs_slice(p, start, cat, cycles);
     }
 
     /// Records a stall beginning now.
     fn begin_stall(&mut self, p: u32, kind: StallKind, cat: TimeCat) {
         debug_assert!(self.stalls[p as usize].is_none(), "nested stall");
+        self.obs_event(p, shasta_obs::EventKind::StallBegin { cat });
         self.stalls[p as usize] = Some(Stall { kind, since: self.clocks[p as usize], cat });
     }
 
@@ -263,6 +289,10 @@ impl Machine {
         let stall = self.stalls[p as usize].take().expect("resume without stall");
         let window = now - stall.since;
         self.stats.breakdowns[p as usize].add(stall.cat, window);
+        // The whole stall window becomes one slice (message handling during
+        // the stall advanced the clock without attributing — the paper hides
+        // it under the stall category).
+        self.obs_slice(p, stall.since, stall.cat, window);
         match stall.kind {
             StallKind::Miss { op, is_read, .. } => {
                 if is_read {
@@ -302,8 +332,18 @@ impl Machine {
     /// (a processor "messaging itself" is a function call in Shasta).
     pub(crate) fn post(&mut self, src: u32, dst: u32, msg: ProtoMsg) {
         if src == dst {
+            // A processor "messaging itself" is a plain function call; no
+            // send/receive events are recorded for it.
             self.handle_message(src, src, msg);
         } else {
+            self.obs_event(
+                src,
+                shasta_obs::EventKind::MsgSend {
+                    msg: msg.label(),
+                    peer: dst,
+                    block: msg.block_start(),
+                },
+            );
             self.pay(src, TimeCat::Message, self.cost.msg_send_cycles);
             let payload = msg.payload_bytes();
             let class = match msg {
@@ -455,20 +495,24 @@ impl Machine {
         let state = self.block_state(v, block);
         if state.readable() {
             // Application data happened to equal the flag value.
+            self.obs_event(p, shasta_obs::EventKind::FalseMiss { block: block.start });
             self.charge(p, TimeCat::Task, self.cfg.check.false_miss_cycles);
             self.stats.misses.false_misses += 1;
             return Some(Resp::Value(self.mems[v].read_scalar(addr, size)));
         }
+        self.obs_event(p, shasta_obs::EventKind::CheckMiss { block: block.start, write: false });
         self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
         match state {
             LineState::PendingDgShared | LineState::PendingDgInvalid => {
                 // §3.4.3: the block is mid-downgrade but the prior state was
                 // sufficient for a read; service it under the line lock.
+                self.obs_lock_acq(p, block);
                 self.pay(
                     p,
                     TimeCat::Other,
                     self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
                 );
+                self.obs_lock_rel(p, block);
                 if state == LineState::PendingDgShared {
                     self.set_priv(p, block, PrivState::Shared);
                 }
@@ -540,6 +584,7 @@ impl Machine {
             self.mems[v].write_scalar(addr, size, value);
             return Some(Resp::Unit);
         }
+        self.obs_event(p, shasta_obs::EventKind::CheckMiss { block: block.start, write: true });
         self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
         let state = self.block_state(v, block);
         match state {
@@ -548,11 +593,13 @@ impl Machine {
                 // state table (SMP only; unreachable in Base where the check
                 // reads the same table).
                 debug_assert_eq!(self.cfg.mode, Mode::Smp);
+                self.obs_lock_acq(p, block);
                 self.pay(
                     p,
                     TimeCat::Other,
                     self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
                 );
+                self.obs_lock_rel(p, block);
                 self.set_priv(p, block, PrivState::Exclusive);
                 self.stats.misses.private_upgrades += 1;
                 self.mems[v].write_scalar(addr, size, value);
@@ -562,11 +609,13 @@ impl Machine {
                 // Prior state was exclusive: this store may be serviced
                 // before the downgrade completes; it will be included in the
                 // data the last downgrader sends (§3.4.3).
+                self.obs_lock_acq(p, block);
                 self.pay(
                     p,
                     TimeCat::Other,
                     self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
                 );
+                self.obs_lock_rel(p, block);
                 self.mems[v].write_scalar(addr, size, value);
                 self.set_priv(p, block, PrivState::Shared);
                 Some(Resp::Unit)
@@ -577,11 +626,13 @@ impl Machine {
                     .expect("pending-downgrade state without entry")
                     .prior;
                 if prior.writable() {
+                    self.obs_lock_acq(p, block);
                     self.pay(
                         p,
                         TimeCat::Other,
                         self.cost.smp_lock_cycles + self.cost.priv_upgrade_cycles,
                     );
+                    self.obs_lock_rel(p, block);
                     self.mems[v].write_scalar(addr, size, value);
                     self.set_priv(p, block, PrivState::Invalid);
                     Some(Resp::Unit)
@@ -703,7 +754,10 @@ impl Machine {
             _ => LineState::PendingWrite,
         };
         self.set_block_state(v, block, pending);
+        self.obs_state(p, block, pending);
+        self.obs_lock_acq(p, block);
         self.pay(p, TimeCat::Other, self.smp_lock() + self.cost.miss_entry_cycles);
+        self.obs_lock_rel(p, block);
         let home = self.home_proc(block);
         let msg = match kind {
             ReqKind::Read => ProtoMsg::ReadReq { block },
@@ -727,6 +781,10 @@ impl Machine {
             // Load-balancing extension: the request lands in the home
             // node's shared queue; whichever node processor polls first
             // services it (directory state is shared).
+            self.obs_event(
+                p,
+                shasta_obs::EventKind::MsgSend { msg: msg.label(), peer: home, block: block.start },
+            );
             self.pay(p, TimeCat::Message, self.cost.msg_send_cycles);
             let payload = msg.payload_bytes();
             let t = self.clocks[p as usize] + self.sched.send_jitter();

@@ -102,7 +102,9 @@ impl Machine {
             ReqKind::Write => self.cost.handler_write_cycles,
             ReqKind::Upgrade => self.cost.handler_upgrade_cycles,
         } + self.smp_lock_cost();
+        self.obs_lock_acq(exec, block);
         self.pay(exec, TimeCat::Message, handler_cost);
+        self.obs_lock_rel(exec, block);
         self.dispatch_home_request(exec, home, requester, kind, block);
     }
 
@@ -284,7 +286,9 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn handle_fwd_read(&mut self, owner: u32, block: Block, requester: u32, owner_exclusive: bool) {
+        self.obs_lock_acq(owner, block);
         self.pay(owner, TimeCat::Message, self.cost.handler_read_cycles + self.smp_lock_cost());
+        self.obs_lock_rel(owner, block);
         self.fwd_read_body(owner, block, requester, owner_exclusive);
     }
 
@@ -364,7 +368,9 @@ impl Machine {
         acks_expected: u32,
         owner_exclusive: bool,
     ) {
+        self.obs_lock_acq(owner, block);
         self.pay(owner, TimeCat::Message, self.cost.handler_write_cycles + self.smp_lock_cost());
+        self.obs_lock_rel(owner, block);
         self.fwd_write_body(owner, block, requester, acks_expected, owner_exclusive);
     }
 
@@ -485,6 +491,14 @@ impl Machine {
         self.privs[x as usize].downgrade_range(lines, priv_ceiling(to));
         self.stats.downgrades.record(targets.len());
         self.trace_dg(x, block, to, targets.len());
+        self.obs_event(
+            x,
+            shasta_obs::EventKind::DowngradeStart {
+                block: block.start,
+                to_invalid: to == DowngradeTo::Invalid,
+                targets: targets.len() as u32,
+            },
+        );
         if targets.is_empty() {
             self.complete_downgrade(x, block, to, deferred, None);
         } else {
@@ -494,6 +508,7 @@ impl Machine {
                 DowngradeTo::Invalid => LineState::PendingDgInvalid,
             };
             self.set_block_state(v, block, pending);
+            self.obs_state(x, block, pending);
             // Injected defect: capture the reply data *now* instead of
             // waiting for every local processor to handle its downgrade
             // message — stores legally serviced during the window (§3.4.3)
@@ -529,7 +544,9 @@ impl Machine {
         let entry =
             self.downgrades[v].get_mut(&block.start).expect("downgrade message without entry");
         entry.remaining -= 1;
-        if entry.remaining == 0 {
+        let remaining = entry.remaining;
+        self.obs_event(p, shasta_obs::EventKind::DowngradeAck { block: block.start, remaining });
+        if remaining == 0 {
             let entry = self.downgrades[v].remove(&block.start).expect("just present");
             self.complete_downgrade(p, block, entry.to, entry.deferred, entry.early_data);
         }
@@ -562,9 +579,13 @@ impl Machine {
             Deferred::InvDone { .. } => None,
         };
         match to {
-            DowngradeTo::Shared => self.set_block_state(v, block, LineState::Shared),
+            DowngradeTo::Shared => {
+                self.set_block_state(v, block, LineState::Shared);
+                self.obs_state(executor, block, LineState::Shared);
+            }
             DowngradeTo::Invalid => {
                 self.set_block_state(v, block, LineState::Invalid);
+                self.obs_state(executor, block, LineState::Invalid);
                 self.pay(
                     executor,
                     TimeCat::Other,
@@ -573,6 +594,7 @@ impl Machine {
                 self.mems[v].write_flags(block.start, block.len);
             }
         }
+        self.obs_event(executor, shasta_obs::EventKind::DowngradeDone { block: block.start });
         let now = self.clocks[executor as usize];
         self.bump_wake_vnode(v, now);
         let home = self.home_proc(block);
@@ -612,7 +634,9 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn handle_invalidate(&mut self, p: u32, block: Block, ack_to: u32) {
+        self.obs_lock_acq(p, block);
         self.pay(p, TimeCat::Message, self.cost.inv_handler_cycles + self.smp_lock_cost());
+        self.obs_lock_rel(p, block);
         let v = self.vnode(p);
         let state = self.block_state(v, block);
         let t = self.clocks[p as usize];
@@ -732,7 +756,9 @@ impl Machine {
     }
 
     fn handle_read_reply(&mut self, p: u32, src: u32, block: Block, data: Vec<u8>) {
+        self.obs_lock_acq(p, block);
         self.pay(p, TimeCat::Message, self.cost.reply_receive_cycles + self.smp_lock_cost());
+        self.obs_lock_rel(p, block);
         let v = self.vnode(p);
         let t = self.clocks[p as usize];
         self.trace.record(t, p, "r-reply", || format!("{:#x} from {src}", block.start));
@@ -745,6 +771,7 @@ impl Machine {
         entry.apply_stores(&mut buf);
         self.mems[v].write(block.start, &buf);
         self.set_block_state(v, block, LineState::Shared);
+        self.obs_state(p, block, LineState::Shared);
         self.set_priv(p, block, crate::state::PrivState::Shared);
         let now = self.clocks[p as usize];
         self.bump_wake_vnode(v, now);
@@ -780,6 +807,7 @@ impl Machine {
                 self.mems[v].write(block.start, &cur);
             }
             self.set_block_state(v, block, LineState::PendingWrite);
+            self.obs_state(p, block, LineState::PendingWrite);
             let home = self.home_proc(block);
             let msg = match kind {
                 ReqKind::Upgrade => ProtoMsg::UpgradeReq { block },
@@ -801,7 +829,9 @@ impl Machine {
     }
 
     fn handle_write_reply(&mut self, p: u32, src: u32, block: Block, data: Vec<u8>, acks: u32) {
+        self.obs_lock_acq(p, block);
         self.pay(p, TimeCat::Message, self.cost.reply_receive_cycles + self.smp_lock_cost());
+        self.obs_lock_rel(p, block);
         let v = self.vnode(p);
         let t = self.clocks[p as usize];
         self.trace.record(t, p, "w-reply", || format!("{:#x} from {src} acks {acks}", block.start));
@@ -816,6 +846,7 @@ impl Machine {
         entry.apply_stores(&mut buf);
         self.mems[v].write(block.start, &buf);
         self.set_block_state(v, block, LineState::Exclusive);
+        self.obs_state(p, block, LineState::Exclusive);
         self.set_priv(p, block, crate::state::PrivState::Exclusive);
         let now = self.clocks[p as usize];
         self.bump_wake_vnode(v, now);
@@ -843,7 +874,9 @@ impl Machine {
     }
 
     fn handle_upgrade_reply(&mut self, p: u32, src: u32, block: Block, acks: u32) {
+        self.obs_lock_acq(p, block);
         self.pay(p, TimeCat::Message, self.cost.reply_receive_cycles + self.smp_lock_cost());
+        self.obs_lock_rel(p, block);
         let v = self.vnode(p);
         let mut entry =
             self.miss[v].remove(block.start).expect("upgrade reply without a miss entry");
@@ -859,6 +892,7 @@ impl Machine {
             "an upgrade cannot be granted to a processor whose copy was invalidated"
         );
         self.set_block_state(v, block, LineState::Exclusive);
+        self.obs_state(p, block, LineState::Exclusive);
         self.set_priv(p, block, crate::state::PrivState::Exclusive);
         let now = self.clocks[p as usize];
         self.bump_wake_vnode(v, now);

@@ -199,6 +199,9 @@ pub struct Machine {
     // ---- output ----
     pub(crate) stats: RunStats,
     pub(crate) trace: Trace,
+    /// Structured protocol-event recorder (disabled by default; the record
+    /// calls themselves are compiled out without the `obs` feature).
+    pub(crate) obs: shasta_obs::Recorder,
     // ---- checker hooks ----
     /// Schedule policy state (deterministic by default).
     pub(crate) sched: Scheduler,
@@ -280,6 +283,7 @@ impl Machine {
             barriers: HashMap::new(),
             stats: RunStats::new(procs),
             trace: Trace::disabled(),
+            obs: shasta_obs::Recorder::disabled(),
             sched: Scheduler::default(),
             oracle: None,
             step_limit: None,
@@ -319,6 +323,73 @@ impl Machine {
     /// Enables bounded event tracing (diagnostics).
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Trace::bounded(capacity);
+    }
+
+    /// Enables structured protocol-event recording (the `shasta-obs` layer):
+    /// per-processor rings of up to `ring_capacity` events each, plus the
+    /// streaming Figure 4 aggregation. Retrieve the result with
+    /// [`Machine::take_obs`] after [`Machine::run`].
+    ///
+    /// When `shasta-core` is built without its `obs` feature the recording
+    /// hooks are compiled out and the resulting log is empty.
+    pub fn enable_obs(&mut self, ring_capacity: usize) {
+        self.obs = shasta_obs::Recorder::enabled(self.topo.procs() as usize, ring_capacity);
+    }
+
+    /// Takes the recorded event log (leaving recording disabled). Empty
+    /// unless [`Machine::enable_obs`] was called before the run.
+    pub fn take_obs(&mut self) -> shasta_obs::EventLog {
+        std::mem::take(&mut self.obs).into_log()
+    }
+
+    /// Records a protocol event at `p`'s current clock. Compiled out
+    /// entirely without the `obs` feature.
+    #[inline]
+    pub(crate) fn obs_event(&mut self, p: u32, kind: shasta_obs::EventKind) {
+        #[cfg(feature = "obs")]
+        self.obs.record(self.clocks[p as usize].cycles(), p, kind);
+        #[cfg(not(feature = "obs"))]
+        let _ = (p, kind);
+    }
+
+    /// Records one attributed execution-time slice: `cycles` of `cat`
+    /// starting at `start` on `p`. Mirrors the engine's `shasta-stats`
+    /// attribution exactly; compiled out without the `obs` feature.
+    #[inline]
+    pub(crate) fn obs_slice(&mut self, p: u32, start: Time, cat: TimeCat, cycles: u64) {
+        #[cfg(feature = "obs")]
+        if cycles > 0 {
+            self.obs.record(start.cycles(), p, shasta_obs::EventKind::Slice { cat, cycles });
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (p, start, cat, cycles);
+    }
+
+    /// Records a line-state transition of `block` as observed by `p`.
+    /// Compiled out without the `obs` feature.
+    #[inline]
+    pub(crate) fn obs_state(&mut self, p: u32, block: Block, s: LineState) {
+        self.obs_event(
+            p,
+            shasta_obs::EventKind::BlockState { block: block.start, state: s.label() },
+        );
+    }
+
+    /// Records the per-line SMP lock being taken for `block` (SMP mode
+    /// only: Base-Shasta has no node mates to lock against).
+    #[inline]
+    pub(crate) fn obs_lock_acq(&mut self, p: u32, block: Block) {
+        if self.cfg.mode == Mode::Smp {
+            self.obs_event(p, shasta_obs::EventKind::LineLockAcquire { block: block.start });
+        }
+    }
+
+    /// Records the per-line SMP lock being released for `block`.
+    #[inline]
+    pub(crate) fn obs_lock_rel(&mut self, p: u32, block: Block) {
+        if self.cfg.mode == Mode::Smp {
+            self.obs_event(p, shasta_obs::EventKind::LineLockRelease { block: block.start });
+        }
     }
 
     /// Renders the recorded event trace (empty when tracing is disabled).

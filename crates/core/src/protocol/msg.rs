@@ -160,6 +160,30 @@ impl ProtoMsg {
         }
     }
 
+    /// Starting address of the block this message concerns (0 for lock and
+    /// barrier messages, which carry no block).
+    pub fn block_start(&self) -> u64 {
+        match self {
+            ProtoMsg::ReadReq { block }
+            | ProtoMsg::WriteReq { block }
+            | ProtoMsg::UpgradeReq { block }
+            | ProtoMsg::FwdRead { block, .. }
+            | ProtoMsg::FwdWrite { block, .. }
+            | ProtoMsg::ReadReply { block, .. }
+            | ProtoMsg::WriteReply { block, .. }
+            | ProtoMsg::UpgradeReply { block, .. }
+            | ProtoMsg::InvalidateReq { block, .. }
+            | ProtoMsg::InvAck { block }
+            | ProtoMsg::DirUpdateMsg { block, .. }
+            | ProtoMsg::Downgrade { block, .. } => block.start,
+            ProtoMsg::LockAcq { .. }
+            | ProtoMsg::LockRel { .. }
+            | ProtoMsg::LockGrant { .. }
+            | ProtoMsg::BarrierArrive { .. }
+            | ProtoMsg::BarrierGo { .. } => 0,
+        }
+    }
+
     /// Short label for traces.
     pub fn label(&self) -> &'static str {
         match self {

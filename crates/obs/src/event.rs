@@ -1,0 +1,165 @@
+//! The event schema: everything the protocol engine can report.
+
+use shasta_stats::TimeCat;
+
+/// One recorded protocol event.
+///
+/// Events are `Copy` and fixed-size so the record path never allocates;
+/// message kinds and line states are carried as `&'static str` labels
+/// (the engine's own message/state label tables), which keeps this crate
+/// decoupled from `shasta-core`'s types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Simulated timestamp in cycles (the acting processor's clock when the
+    /// event was recorded; for time slices, the *start* of the slice).
+    pub t: u64,
+    /// The processor the event happened on.
+    pub proc: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The protocol-significant event kinds the engine reports.
+///
+/// Block fields carry the block's starting shared-space address (what the
+/// engine prints as `{:#x}` in diagnostics). All timestamps live on the
+/// enclosing [`Event`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An inline check missed and entered the protocol (a real miss: the
+    /// flag/state check failed and the state table confirmed it).
+    CheckMiss {
+        /// Starting address of the missed block.
+        block: u64,
+        /// True for a store-side miss, false for a load-side miss.
+        write: bool,
+    },
+    /// An inline flag-technique load check fired on application data that
+    /// happened to equal the invalid flag (§2.3 "false miss").
+    FalseMiss {
+        /// Starting address of the falsely-missed block.
+        block: u64,
+    },
+    /// A protocol message left this processor for another one.
+    MsgSend {
+        /// The message kind label (e.g. `"read-req"`, `"downgrade"`).
+        msg: &'static str,
+        /// Destination processor (or home processor for vnode-queued sends).
+        peer: u32,
+        /// Block the message concerns, or 0 for sync messages.
+        block: u64,
+    },
+    /// A protocol message was delivered to (and handled by) this processor.
+    MsgRecv {
+        /// The message kind label (e.g. `"read-reply"`, `"inv-ack"`).
+        msg: &'static str,
+        /// Source processor.
+        peer: u32,
+        /// Block the message concerns, or 0 for sync messages.
+        block: u64,
+    },
+    /// A downgrade of a block began on this (home-side acting) processor:
+    /// downgrade messages were issued to the private-table targets.
+    DowngradeStart {
+        /// Starting address of the block being downgraded.
+        block: u64,
+        /// True when downgrading to invalid, false when to shared.
+        to_invalid: bool,
+        /// Number of downgrade messages issued (selective targeting).
+        targets: u32,
+    },
+    /// A processor acknowledged its part of a pending downgrade.
+    DowngradeAck {
+        /// Starting address of the downgrading block.
+        block: u64,
+        /// Downgrade messages still outstanding after this ack.
+        remaining: u32,
+    },
+    /// The last downgrader completed the downgrade: deferred flag/state
+    /// writes were performed and the reply was sent.
+    DowngradeDone {
+        /// Starting address of the downgraded block.
+        block: u64,
+    },
+    /// A poll point (operation boundary / loop back-edge) drained messages.
+    PollDrain {
+        /// Number of messages handled at this poll point.
+        handled: u32,
+    },
+    /// The per-line SMP lock was taken (SMP-Shasta protocol entry).
+    LineLockAcquire {
+        /// Starting address of the locked block.
+        block: u64,
+    },
+    /// The per-line SMP lock was released.
+    LineLockRelease {
+        /// Starting address of the unlocked block.
+        block: u64,
+    },
+    /// A block's (node-level) line state changed.
+    BlockState {
+        /// Starting address of the block.
+        block: u64,
+        /// The new state's label (e.g. `"pending-read"`, `"exclusive"`).
+        state: &'static str,
+    },
+    /// The processor entered a stall (the matching time slice is emitted
+    /// when the stall resumes, covering the whole window).
+    StallBegin {
+        /// The category the stall window will be attributed to.
+        cat: TimeCat,
+    },
+    /// A span of attributed execution time: `cycles` starting at the
+    /// event's timestamp, attributed to `cat`. The slice stream is exactly
+    /// the engine's Figure 4 attribution — summing slices per category
+    /// reproduces `shasta-stats` breakdowns.
+    Slice {
+        /// The Figure 4 category the cycles belong to.
+        cat: TimeCat,
+        /// Length of the slice in cycles.
+        cycles: u64,
+    },
+}
+
+impl EventKind {
+    /// Short, stable name for this event kind (used as the Chrome trace
+    /// event name for instant events; slices are named by their category).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::CheckMiss { .. } => "check-miss",
+            EventKind::FalseMiss { .. } => "false-miss",
+            EventKind::MsgSend { .. } => "msg-send",
+            EventKind::MsgRecv { .. } => "msg-recv",
+            EventKind::DowngradeStart { .. } => "downgrade-start",
+            EventKind::DowngradeAck { .. } => "downgrade-ack",
+            EventKind::DowngradeDone { .. } => "downgrade-done",
+            EventKind::PollDrain { .. } => "poll-drain",
+            EventKind::LineLockAcquire { .. } => "line-lock-acquire",
+            EventKind::LineLockRelease { .. } => "line-lock-release",
+            EventKind::BlockState { .. } => "block-state",
+            EventKind::StallBegin { .. } => "stall-begin",
+            EventKind::Slice { .. } => "slice",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventKind::CheckMiss { block: 0, write: false }.name(), "check-miss");
+        assert_eq!(EventKind::Slice { cat: TimeCat::Task, cycles: 1 }.name(), "slice");
+        assert_eq!(EventKind::PollDrain { handled: 2 }.name(), "poll-drain");
+    }
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The record path stores events by value; keep them register-friendly.
+        assert!(std::mem::size_of::<Event>() <= 48);
+        let e = Event { t: 5, proc: 1, kind: EventKind::FalseMiss { block: 0x40 } };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

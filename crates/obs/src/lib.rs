@@ -1,0 +1,40 @@
+#![deny(missing_docs)]
+
+//! Structured protocol-event tracing for the Shasta / SMP-Shasta
+//! reproduction.
+//!
+//! The protocol engine emits a stream of [`Event`]s — inline-check misses,
+//! message sends and receives, downgrade progress, poll-point drains, line
+//! locks, pending-state transitions, and execution-time slices — into a
+//! [`Recorder`]. The recorder keeps a bounded per-processor ring of recent
+//! events for timeline export and *streams* every time slice into a
+//! [`Fig4Agg`], so the Figure 4 execution-time breakdown can be derived from
+//! the event stream itself and cross-checked against the `shasta-stats`
+//! counters (any divergence is a bug in one of the two paths).
+//!
+//! Exporters:
+//!
+//! * [`chrome::to_chrome_json`] renders an [`EventLog`] in the Chrome
+//!   `trace_event` JSON format, which opens in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev) as a per-processor timeline.
+//! * [`Fig4Agg::breakdown`] reproduces the per-processor Figure 4 breakdown
+//!   from the slice stream alone.
+//!
+//! Recording is compiled out entirely when the `obs` feature of
+//! `shasta-core` is disabled; this crate itself is dependency-light (only
+//! `shasta-stats`, for [`TimeCat`](shasta_stats::TimeCat) and
+//! [`Breakdown`](shasta_stats::Breakdown)) and never allocates on the
+//! record path once the rings are at capacity.
+//!
+//! See `docs/OBSERVABILITY.md` for the event schema, the ring-buffer
+//! design, and a worked example that captures the Figure 2(b) downgrade
+//! race.
+
+pub mod chrome;
+mod event;
+mod fig4;
+mod recorder;
+
+pub use event::{Event, EventKind};
+pub use fig4::Fig4Agg;
+pub use recorder::{EventLog, ProcEvents, Recorder};

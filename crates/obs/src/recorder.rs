@@ -1,0 +1,212 @@
+//! The recorder: per-processor bounded event rings plus the streaming
+//! Figure 4 aggregator, and the immutable [`EventLog`] a finished run
+//! hands to the exporters.
+
+use crate::event::{Event, EventKind};
+use crate::fig4::Fig4Agg;
+
+/// Bounded ring of recent events for one processor. When full, the oldest
+/// event is overwritten and counted as dropped — the exported timeline is a
+/// suffix of the run, but aggregation (fed before eviction) is unaffected.
+#[derive(Clone, Debug)]
+struct ProcRing {
+    cap: usize,
+    buf: Vec<Event>,
+    /// Index of the oldest retained event once the ring has wrapped.
+    start: usize,
+    dropped: u64,
+}
+
+impl ProcRing {
+    fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be positive");
+        ProcRing { cap, buf: Vec::new(), start: 0, dropped: 0 }
+    }
+
+    fn push(&mut self, e: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.start] = e;
+            self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    fn drain_in_order(mut self) -> Vec<Event> {
+        self.buf.rotate_left(self.start);
+        self.buf
+    }
+}
+
+/// Records protocol events during a run.
+///
+/// A disabled recorder (the default) reduces every [`record`](Self::record)
+/// call to a single branch; an enabled one appends to the acting
+/// processor's ring and streams time slices into the [`Fig4Agg`].
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    rings: Vec<ProcRing>,
+    agg: Fig4Agg,
+    enabled: bool,
+}
+
+impl Recorder {
+    /// A recorder that ignores every event (the engine's default).
+    pub fn disabled() -> Self {
+        Recorder::default()
+    }
+
+    /// A recorder for `procs` processors retaining up to `ring_capacity`
+    /// events per processor in the exported timeline.
+    pub fn enabled(procs: usize, ring_capacity: usize) -> Self {
+        Recorder {
+            rings: (0..procs).map(|_| ProcRing::new(ring_capacity)).collect(),
+            agg: Fig4Agg::new(procs),
+            enabled: true,
+        }
+    }
+
+    /// Whether this recorder keeps events.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `kind` happening on processor `p` at simulated cycle `t`.
+    /// No-op (one branch) when the recorder is disabled.
+    pub fn record(&mut self, t: u64, p: u32, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        if let EventKind::Slice { cat, cycles } = kind {
+            self.agg.observe_slice(p, t, cat, cycles);
+        }
+        self.rings[p as usize].push(Event { t, proc: p, kind });
+    }
+
+    /// Consumes the recorder into the immutable log handed to exporters.
+    pub fn into_log(self) -> EventLog {
+        EventLog {
+            procs: self
+                .rings
+                .into_iter()
+                .map(|r| {
+                    let dropped = r.dropped;
+                    ProcEvents { dropped, events: r.drain_in_order() }
+                })
+                .collect(),
+            agg: self.agg,
+        }
+    }
+}
+
+/// The retained timeline of one processor.
+#[derive(Clone, Debug)]
+pub struct ProcEvents {
+    /// Retained events in record (and therefore time) order.
+    pub events: Vec<Event>,
+    /// Events evicted from the ring before export (0 = complete timeline).
+    pub dropped: u64,
+}
+
+/// Everything recorded during one run: per-processor timelines plus the
+/// streamed Figure 4 aggregation.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    procs: Vec<ProcEvents>,
+    agg: Fig4Agg,
+}
+
+impl EventLog {
+    /// Number of processors in the log.
+    pub fn procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Processor `p`'s retained timeline.
+    pub fn proc(&self, p: u32) -> &ProcEvents {
+        &self.procs[p as usize]
+    }
+
+    /// Total retained events across all processors.
+    pub fn len(&self) -> usize {
+        self.procs.iter().map(|pe| pe.events.len()).sum()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events evicted from the rings before export.
+    pub fn dropped(&self) -> u64 {
+        self.procs.iter().map(|pe| pe.dropped).sum()
+    }
+
+    /// The Figure 4 aggregation streamed during the run (covers the whole
+    /// run regardless of ring eviction).
+    pub fn fig4(&self) -> &Fig4Agg {
+        &self.agg
+    }
+
+    /// Iterates every retained event, processor by processor.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.procs.iter().flat_map(|pe| pe.events.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shasta_stats::TimeCat;
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let mut r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(5, 0, EventKind::PollDrain { handled: 1 });
+        let log = r.into_log();
+        assert_eq!(log.procs(), 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = Recorder::enabled(1, 3);
+        for i in 0..5u64 {
+            r.record(i, 0, EventKind::PollDrain { handled: i as u32 });
+        }
+        let log = r.into_log();
+        let pe = log.proc(0);
+        assert_eq!(pe.dropped, 2);
+        let ts: Vec<u64> = pe.events.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest events evicted, order preserved");
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn slices_feed_aggregation_even_after_eviction() {
+        let mut r = Recorder::enabled(1, 2);
+        for i in 0..10u64 {
+            r.record(i * 10, 0, EventKind::Slice { cat: TimeCat::Task, cycles: 10 });
+        }
+        let log = r.into_log();
+        assert_eq!(log.proc(0).events.len(), 2, "timeline is a suffix");
+        assert_eq!(log.fig4().breakdown(0).get(TimeCat::Task), 100, "aggregation sees all");
+        assert_eq!(log.fig4().span(0), 100);
+    }
+
+    #[test]
+    fn events_route_to_their_processor() {
+        let mut r = Recorder::enabled(2, 8);
+        r.record(1, 0, EventKind::CheckMiss { block: 0x40, write: false });
+        r.record(2, 1, EventKind::CheckMiss { block: 0x80, write: true });
+        let log = r.into_log();
+        assert_eq!(log.proc(0).events.len(), 1);
+        assert_eq!(log.proc(1).events.len(), 1);
+        assert_eq!(log.proc(1).events[0].proc, 1);
+        assert_eq!(log.iter().count(), 2);
+    }
+}

@@ -16,6 +16,22 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> rustdoc (deny warnings, shasta crates only: vendored stubs are not doc-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p shasta -p shasta-sim -p shasta-cluster -p shasta-memchan -p shasta-core \
+  -p shasta-stats -p shasta-obs -p shasta-apps -p shasta-fgdsm \
+  -p shasta-bench -p shasta-check
+
+echo "==> shasta-core builds with event recording compiled out"
+cargo build -p shasta-core --no-default-features
+
+echo "==> trace-capture smoke (tiny preset, event/counter cross-check + Chrome export)"
+trace_tmp="$(mktemp /tmp/shasta-ci-trace.XXXXXX.json)"
+cargo run --release -p shasta-bench --bin fig4_breakdown -- \
+  --preset tiny --trace "$trace_tmp" > /dev/null
+test -s "$trace_tmp" || { echo "trace export is empty"; exit 1; }
+rm -f "$trace_tmp"
+
 echo "==> bounded schedule sweep (64 seeds, oracle validation included)"
 # 64 seeds x 5 scenarios x 2 policies = 640 schedules, plus the sweep
 # against both injected-bug variants; completes in seconds in release mode
