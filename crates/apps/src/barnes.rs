@@ -289,11 +289,17 @@ impl DsmApp for Barnes {
         } else {
             BlockHint::Line
         };
-        let bodies_addr = s.malloc(BODY_BYTES * n as u64, hint, HomeHint::RoundRobin);
+        let bodies_addr =
+            s.malloc_labeled(BODY_BYTES * n as u64, hint, HomeHint::RoundRobin, "barnes.bodies");
         let max_cells = 4 * n + 8;
-        let cells_addr = s.malloc(CELL_BYTES * max_cells as u64, hint, HomeHint::RoundRobin);
+        let cells_addr = s.malloc_labeled(
+            CELL_BYTES * max_cells as u64,
+            hint,
+            HomeHint::RoundRobin,
+            "barnes.cells",
+        );
         // Control word: number of cells this step.
-        let ctrl = s.malloc(64, BlockHint::Line, HomeHint::Explicit(0));
+        let ctrl = s.malloc_labeled(64, BlockHint::Line, HomeHint::Explicit(0), "barnes.ctrl");
         for b in 0..n {
             let mut rec = [0.0f64; BODY_F64];
             rec[..3].copy_from_slice(&self.pos[b]);

@@ -176,7 +176,8 @@ impl DsmApp for Fmm {
         } else {
             BlockHint::Line
         };
-        let boxes_addr = s.malloc(BOX_BYTES * nb as u64, box_hint, HomeHint::RoundRobin);
+        let boxes_addr =
+            s.malloc_labeled(BOX_BYTES * nb as u64, box_hint, HomeHint::RoundRobin, "fmm.boxes");
         // Particle segments: one allocation per owner.
         let mut part_addr = vec![0u64; n]; // by sorted position
         for p in 0..procs {
@@ -185,7 +186,12 @@ impl DsmApp for Fmm {
             if count == 0 {
                 continue;
             }
-            let base = s.malloc(PART_BYTES * count as u64, BlockHint::Line, HomeHint::Explicit(p));
+            let base = s.malloc_labeled(
+                PART_BYTES * count as u64,
+                BlockHint::Line,
+                HomeHint::Explicit(p),
+                "fmm.particles",
+            );
             let mut off = 0u64;
             for b in my {
                 let (first, cnt) = ranges[b];

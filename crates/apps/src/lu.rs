@@ -276,7 +276,7 @@ impl DsmApp for Lu {
                 for bj in 0..nb {
                     // Home placement: each block lives at its owner.
                     let home = HomeHint::Explicit(self.owner(opts.procs, bi, bj));
-                    let addr = s.malloc((b * b * 8) as u64, hint, home);
+                    let addr = s.malloc_labeled((b * b * 8) as u64, hint, home, "lu.block");
                     let mut flat = vec![0.0f64; b * b];
                     for r in 0..b {
                         flat[r * b..r * b + b].copy_from_slice(
@@ -290,7 +290,8 @@ impl DsmApp for Lu {
             Layout::Blocked { blocks: Arc::new(blocks) }
         } else {
             let hint = if use_vg { BlockHint::Bytes(128) } else { BlockHint::Line };
-            let base = s.malloc((n * n * 8) as u64, hint, HomeHint::RoundRobin);
+            let base =
+                s.malloc_labeled((n * n * 8) as u64, hint, HomeHint::RoundRobin, "lu.matrix");
             s.write_f64s(base, &self.init);
             Layout::RowMajor { base }
         };

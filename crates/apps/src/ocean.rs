@@ -107,8 +107,12 @@ impl DsmApp for Ocean {
             if band.is_empty() {
                 continue;
             }
-            let base =
-                s.malloc(row_bytes * band.len() as u64, BlockHint::Line, HomeHint::Explicit(p));
+            let base = s.malloc_labeled(
+                row_bytes * band.len() as u64,
+                BlockHint::Line,
+                HomeHint::Explicit(p),
+                "ocean.grid",
+            );
             for (i, &r) in band.iter().enumerate() {
                 row_addr[r] = base + i as u64 * row_bytes;
                 s.write_f64s(row_addr[r], &self.init[r * n..(r + 1) * n]);

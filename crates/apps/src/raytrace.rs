@@ -115,14 +115,23 @@ impl DsmApp for Raytrace {
     fn plan(&self, s: &mut SetupCtx<'_>, opts: &PlanOpts) -> Vec<Body> {
         let (w, h) = (self.width, self.height);
         let procs = opts.procs;
-        let scene_addr =
-            s.malloc(SPH_BYTES * self.spheres.len() as u64, BlockHint::Line, HomeHint::Explicit(0));
+        let scene_addr = s.malloc_labeled(
+            SPH_BYTES * self.spheres.len() as u64,
+            BlockHint::Line,
+            HomeHint::Explicit(0),
+            "raytrace.spheres",
+        );
         for (i, sp) in self.spheres.iter().enumerate() {
             let mut rec = [0.0f64; SPH_F64];
             rec[..5].copy_from_slice(sp);
             s.write_f64s(scene_addr + i as u64 * SPH_BYTES, &rec);
         }
-        let image_addr = s.malloc((w * h * 8) as u64, BlockHint::Line, HomeHint::RoundRobin);
+        let image_addr = s.malloc_labeled(
+            (w * h * 8) as u64,
+            BlockHint::Line,
+            HomeHint::RoundRobin,
+            "raytrace.image",
+        );
         let queues = TaskQueues::setup(s, &deal_tasks(self.tiles(), procs), 1_000);
         let expected = opts.validate.then(|| Arc::new(self.reference()));
         let nspheres = self.spheres.len();

@@ -29,7 +29,12 @@ impl TaskQueues {
         let mut bases = Vec::with_capacity(tasks.len());
         for (p, list) in tasks.iter().enumerate() {
             let bytes = 8 + 8 * list.len() as u64;
-            let base = s.malloc(bytes.max(64), BlockHint::Line, HomeHint::Explicit(p as u32));
+            let base = s.malloc_labeled(
+                bytes.max(64),
+                BlockHint::Line,
+                HomeHint::Explicit(p as u32),
+                "taskq.queue",
+            );
             s.write_u64(base, list.len() as u64);
             for (i, &t) in list.iter().enumerate() {
                 s.write_u64(base + 8 + 8 * i as u64, t);

@@ -134,13 +134,21 @@ impl DsmApp for Volrend {
         } else {
             BlockHint::Line
         };
-        let vol_addr = s.malloc(vol_bytes, BlockHint::Line, HomeHint::RoundRobin);
+        let vol_addr =
+            s.malloc_labeled(vol_bytes, BlockHint::Line, HomeHint::RoundRobin, "volrend.volume");
         s.write(vol_addr, &self.volume);
-        let opac_addr = s.malloc(256 * 8, map_hint, HomeHint::Explicit(0));
+        let opac_addr =
+            s.malloc_labeled(256 * 8, map_hint, HomeHint::Explicit(0), "volrend.opacity");
         s.write_f64s(opac_addr, &self.opacity);
-        let shade_addr = s.malloc(256 * 8, map_hint, HomeHint::Explicit(0));
+        let shade_addr =
+            s.malloc_labeled(256 * 8, map_hint, HomeHint::Explicit(0), "volrend.shading");
         s.write_f64s(shade_addr, &self.shading);
-        let image_addr = s.malloc((img * img * 8) as u64, BlockHint::Line, HomeHint::RoundRobin);
+        let image_addr = s.malloc_labeled(
+            (img * img * 8) as u64,
+            BlockHint::Line,
+            HomeHint::RoundRobin,
+            "volrend.image",
+        );
         let queues = TaskQueues::setup(s, &deal_tasks(self.tiles(), procs), 2_000);
         let expected = opts.validate.then(|| Arc::new(self.reference()));
         let app = self.clone();

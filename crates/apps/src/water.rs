@@ -179,7 +179,8 @@ impl WaterCommon {
         } else {
             BlockHint::Line
         };
-        let mols: Addr = s.malloc(REC_BYTES * n as u64, hint, HomeHint::RoundRobin);
+        let mols: Addr =
+            s.malloc_labeled(REC_BYTES * n as u64, hint, HomeHint::RoundRobin, "water.mols");
         for (i, p) in self.pos.iter().enumerate() {
             let mut rec = [0.0f64; REC_F64];
             rec[..3].copy_from_slice(p);

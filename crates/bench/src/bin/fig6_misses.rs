@@ -2,9 +2,15 @@
 //! request type (read / write / upgrade) and hops (2 / 3), for Base-Shasta
 //! and SMP-Shasta with clustering 2 and 4, normalized to the Base-Shasta
 //! total of each application.
+//!
+//! Every bar is derived twice: from the engine's `MissStats` counters and
+//! from the event stream (`shasta_obs::MissAgg`). The two must agree
+//! **exactly** in every cell — any divergence aborts the binary, the same
+//! zero-tolerance crosscheck `fig4_breakdown` applies to the time
+//! breakdown.
 
 use shasta_apps::{registry, Proto};
-use shasta_bench::{preset_from_args, run};
+use shasta_bench::{preset_from_args, run_observed};
 use shasta_stats::{Hops, MissKind, RunStats};
 
 fn bar(label: &str, st: &RunStats, norm: u64) -> String {
@@ -30,14 +36,21 @@ fn main() {
         println!("=== {procs}-processor runs ===");
         for spec in registry() {
             println!("{}:", spec.name);
-            let base = run(&spec, preset, Proto::Base, procs, 1, false);
+            let (base, log) = run_observed(&spec, preset, Proto::Base, procs, 1, false);
+            log.misses()
+                .crosscheck(&base.misses)
+                .unwrap_or_else(|e| panic!("{} B: event/counter divergence: {e}", spec.name));
             let norm = base.misses.total().max(1);
             println!("  {}", bar("B", &base, norm));
             for clustering in [2u32, 4] {
-                let st = run(&spec, preset, Proto::Smp, procs, clustering, false);
+                let (st, log) = run_observed(&spec, preset, Proto::Smp, procs, clustering, false);
+                log.misses().crosscheck(&st.misses).unwrap_or_else(|e| {
+                    panic!("{} C{clustering}: event/counter divergence: {e}", spec.name)
+                });
                 println!("  {}", bar(&format!("C{clustering}"), &st, norm));
             }
         }
         println!();
     }
+    println!("event-derived miss counters matched the engine's exactly in every run");
 }

@@ -1,26 +1,37 @@
 //! Measures the host-side cost of the `shasta-obs` tracing layer on the
-//! Table 2 kernels and writes `BENCH_obs_overhead.json`.
+//! Table 2 kernels and appends a run to the `BENCH_obs_overhead.json`
+//! trajectory.
 //!
-//! Each application runs twice at the same configuration (Base-Shasta,
-//! 8 processors): once with the recorder disabled (the default — one
-//! predicted branch per hook) and once with full event recording into the
-//! per-processor rings. Simulated cycle counts must be bit-identical —
+//! Each application runs at two configurations — Base-Shasta on 8
+//! processors and clustered SMP-Shasta (clustering 4) on the same 8
+//! processors — twice each: once with the recorder disabled (the default —
+//! one predicted branch per hook) and once with full event recording into
+//! the per-processor rings. Simulated cycle counts must be bit-identical —
 //! observation never advances the simulated clock — and the JSON records
 //! the host wall-time ratio, which is the only real cost of the layer.
+//!
+//! The output file is a **trajectory**: every invocation appends one run
+//! object to the `"runs"` array (a legacy single-run file is wrapped as the
+//! first entry), so overhead regressions are visible across commits.
 //!
 //! ```text
 //! obs_overhead [--preset tiny|default|large] [--reps N] [--out PATH]
 //! ```
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use shasta_apps::Proto;
 use shasta_bench::{apps_for, preset_from_args, run, run_observed};
+use shasta_obs::chrome::{parse, Json};
 
 const PROCS: u32 = 8;
 
+/// The measured configurations: label, protocol, clustering.
+const CONFIGS: [(&str, Proto, u32); 2] = [("Base", Proto::Base, 1), ("SMP-C4", Proto::Smp, 4)];
+
 struct Row {
     name: &'static str,
+    config: &'static str,
     cycles_off: u64,
     cycles_on: u64,
     wall_off_ms: f64,
@@ -34,65 +45,20 @@ impl Row {
     }
 }
 
-fn main() {
-    let preset = preset_from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let flag =
-        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
-    let reps: u32 = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
-    let out = flag("--out").unwrap_or_else(|| "BENCH_obs_overhead.json".to_string());
-
-    let mut rows = Vec::new();
-    for spec in apps_for(true, false) {
-        // Best-of-N wall time filters scheduler noise on the host.
-        let mut wall_off = f64::INFINITY;
-        let mut wall_on = f64::INFINITY;
-        let mut cycles_off = 0;
-        let mut cycles_on = 0;
-        let mut events = 0;
-        for _ in 0..reps {
-            let t = Instant::now();
-            cycles_off = run(&spec, preset, Proto::Base, PROCS, 1, false).elapsed_cycles;
-            wall_off = wall_off.min(t.elapsed().as_secs_f64() * 1e3);
-            let t = Instant::now();
-            let (stats, log) = run_observed(&spec, preset, Proto::Base, PROCS, 1, false);
-            wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
-            cycles_on = stats.elapsed_cycles;
-            events = log.len() + log.dropped() as usize;
-        }
-        let row = Row {
-            name: spec.name,
-            cycles_off,
-            cycles_on,
-            wall_off_ms: wall_off,
-            wall_on_ms: wall_on,
-            events,
-        };
-        println!(
-            "{:<10} cycles off/on {}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%), {} events",
-            row.name,
-            row.cycles_off,
-            row.cycles_on,
-            if row.cycles_off == row.cycles_on { "identical" } else { "DIVERGED" },
-            row.wall_off_ms,
-            row.wall_on_ms,
-            row.overhead_pct(),
-            row.events,
-        );
-        rows.push(row);
-    }
-
-    let identical = rows.iter().all(|r| r.cycles_off == r.cycles_on);
-    let max_pct = rows.iter().map(Row::overhead_pct).fold(f64::NEG_INFINITY, f64::max);
-    let mut json = String::from("{\n");
+/// Renders one run object (the trajectory entry this invocation adds).
+fn run_json(preset: &str, reps: u32, rows: &[Row], identical: bool, max_pct: f64) -> String {
+    let stamp =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or_default();
+    let mut json = String::from("    {\n");
     json.push_str(&format!(
-        "  \"config\": {{\"preset\": \"{preset:?}\", \"proto\": \"Base\", \"procs\": {PROCS}, \"reps\": {reps}}},\n"
+        "      \"config\": {{\"preset\": \"{preset}\", \"procs\": {PROCS}, \"reps\": {reps}, \"unix_time\": {stamp}}},\n"
     ));
-    json.push_str("  \"apps\": [\n");
+    json.push_str("      \"apps\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cycles_off\": {}, \"cycles_on\": {}, \"wall_ms_off\": {:.2}, \"wall_ms_on\": {:.2}, \"recording_overhead_pct\": {:.2}, \"events\": {}}}{}\n",
+            "        {{\"name\": \"{}\", \"proto\": \"{}\", \"cycles_off\": {}, \"cycles_on\": {}, \"wall_ms_off\": {:.2}, \"wall_ms_on\": {:.2}, \"recording_overhead_pct\": {:.2}, \"events\": {}}}{}\n",
             r.name,
+            r.config,
             r.cycles_off,
             r.cycles_on,
             r.wall_off_ms,
@@ -102,14 +68,117 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ],\n");
+    json.push_str("      ],\n");
     json.push_str(&format!(
-        "  \"summary\": {{\"simulated_cycles_identical\": {identical}, \"max_recording_overhead_pct\": {max_pct:.2}}}\n"
+        "      \"summary\": {{\"simulated_cycles_identical\": {identical}, \"max_recording_overhead_pct\": {max_pct:.2}}}\n"
     ));
-    json.push_str("}\n");
+    json.push_str("    }");
+    json
+}
+
+/// Compact re-serialization of a parsed prior run (used when appending to
+/// an existing trajectory; also wraps legacy single-run files).
+fn render(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(members) => {
+            let inner: Vec<String> =
+                members.iter().map(|(k, v)| format!("\"{k}\": {}", render(v))).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+    }
+}
+
+/// Prior trajectory entries from `path`: the `"runs"` array if present, a
+/// legacy single-run object wrapped as one entry, or empty.
+fn prior_runs(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = parse(&text) else {
+        eprintln!("warning: {path} is not valid JSON; starting a fresh trajectory");
+        return Vec::new();
+    };
+    match doc.get("runs").and_then(Json::as_arr) {
+        Some(runs) => runs.iter().map(|r| format!("    {}", render(r))).collect(),
+        None if doc.get("apps").is_some() => vec![format!("    {}", render(&doc))],
+        None => Vec::new(),
+    }
+}
+
+fn main() {
+    let preset = preset_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let reps: u32 = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_obs_overhead.json".to_string());
+
+    let mut rows = Vec::new();
+    for (config, proto, clustering) in CONFIGS {
+        for spec in apps_for(true, false) {
+            // Best-of-N wall time filters scheduler noise on the host.
+            let mut wall_off = f64::INFINITY;
+            let mut wall_on = f64::INFINITY;
+            let mut cycles_off = 0;
+            let mut cycles_on = 0;
+            let mut events = 0;
+            for _ in 0..reps {
+                let t = Instant::now();
+                cycles_off = run(&spec, preset, proto, PROCS, clustering, false).elapsed_cycles;
+                wall_off = wall_off.min(t.elapsed().as_secs_f64() * 1e3);
+                let t = Instant::now();
+                let (stats, log) = run_observed(&spec, preset, proto, PROCS, clustering, false);
+                wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
+                cycles_on = stats.elapsed_cycles;
+                events = log.len() + log.dropped() as usize;
+            }
+            let row = Row {
+                name: spec.name,
+                config,
+                cycles_off,
+                cycles_on,
+                wall_off_ms: wall_off,
+                wall_on_ms: wall_on,
+                events,
+            };
+            println!(
+                "{:<7} {:<10} cycles off/on {}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%), {} events",
+                row.config,
+                row.name,
+                row.cycles_off,
+                row.cycles_on,
+                if row.cycles_off == row.cycles_on { "identical" } else { "DIVERGED" },
+                row.wall_off_ms,
+                row.wall_on_ms,
+                row.overhead_pct(),
+                row.events,
+            );
+            rows.push(row);
+        }
+    }
+
+    let identical = rows.iter().all(|r| r.cycles_off == r.cycles_on);
+    let max_pct = rows.iter().map(Row::overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+
+    let mut runs = prior_runs(&out);
+    let appended = runs.len() + 1;
+    runs.push(run_json(&format!("{preset:?}"), reps, &rows, identical, max_pct));
+    let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", runs.join(",\n"));
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!(
-        "\nsimulated cycles identical: {identical}; max recording overhead {max_pct:.1}%\nwrote {out}"
+        "\nsimulated cycles identical: {identical}; max recording overhead {max_pct:.1}%\nwrote {out} (trajectory run #{appended})"
     );
     assert!(identical, "recording must not perturb simulated time");
 }

@@ -500,7 +500,15 @@ impl Machine {
             self.stats.misses.false_misses += 1;
             return Some(Resp::Value(self.mems[v].read_scalar(addr, size)));
         }
-        self.obs_event(p, shasta_obs::EventKind::CheckMiss { block: block.start, write: false });
+        self.obs_event(
+            p,
+            shasta_obs::EventKind::CheckMiss {
+                block: block.start,
+                addr,
+                len: u32::from(size),
+                write: false,
+            },
+        );
         self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
         match state {
             LineState::PendingDgShared | LineState::PendingDgInvalid => {
@@ -522,6 +530,7 @@ impl Machine {
                 // Another processor on the node already requested the block.
                 if self.cfg.mode == Mode::Smp {
                     self.stats.misses.merged += 1;
+                    self.obs_event(p, shasta_obs::EventKind::MissMerged { block: block.start });
                 }
                 self.begin_stall(
                     p,
@@ -584,7 +593,15 @@ impl Machine {
             self.mems[v].write_scalar(addr, size, value);
             return Some(Resp::Unit);
         }
-        self.obs_event(p, shasta_obs::EventKind::CheckMiss { block: block.start, write: true });
+        self.obs_event(
+            p,
+            shasta_obs::EventKind::CheckMiss {
+                block: block.start,
+                addr,
+                len: u32::from(size),
+                write: true,
+            },
+        );
         self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
         let state = self.block_state(v, block);
         match state {
@@ -602,6 +619,7 @@ impl Machine {
                 self.obs_lock_rel(p, block);
                 self.set_priv(p, block, PrivState::Exclusive);
                 self.stats.misses.private_upgrades += 1;
+                self.obs_event(p, shasta_obs::EventKind::PrivateUpgrade { block: block.start });
                 self.mems[v].write_scalar(addr, size, value);
                 Some(Resp::Unit)
             }
@@ -653,6 +671,7 @@ impl Machine {
                 if self.cfg.nonblocking_stores {
                     if self.cfg.mode == Mode::Smp {
                         self.stats.misses.merged += 1;
+                        self.obs_event(p, shasta_obs::EventKind::MissMerged { block: block.start });
                     }
                     self.pay(p, TimeCat::Other, self.smp_lock() + self.cost.miss_entry_cycles);
                     self.mems[v].write_scalar(addr, size, value);
@@ -675,6 +694,7 @@ impl Machine {
                 if self.cfg.nonblocking_stores {
                     if self.cfg.mode == Mode::Smp {
                         self.stats.misses.merged += 1;
+                        self.obs_event(p, shasta_obs::EventKind::MissMerged { block: block.start });
                     }
                     self.pay(p, TimeCat::Other, self.smp_lock() + self.cost.miss_entry_cycles);
                     self.mems[v].write_scalar(addr, size, value);
@@ -805,7 +825,16 @@ impl Machine {
 
     /// Classifies the blocks of a range for a batched access, requesting any
     /// missing ones. Returns the blocks still pending (empty = ready).
-    fn prepare_range(&mut self, p: u32, blocks: &[Block], write: bool) -> Vec<Block> {
+    /// `addr`/`len` describe the full access range, so each insufficient
+    /// block can report the touched span it contributes.
+    fn prepare_range(
+        &mut self,
+        p: u32,
+        blocks: &[Block],
+        write: bool,
+        addr: Addr,
+        len: u64,
+    ) -> Vec<Block> {
         let v = self.vnode(p);
         let mut waiting = Vec::new();
         for &block in blocks {
@@ -821,14 +850,32 @@ impl Machine {
                         self.pay(p, TimeCat::Other, self.cost.priv_upgrade_cycles);
                         self.set_priv(p, block, want);
                         self.stats.misses.private_upgrades += 1;
+                        self.obs_event(
+                            p,
+                            shasta_obs::EventKind::PrivateUpgrade { block: block.start },
+                        );
                     }
                 }
                 continue;
             }
+            // The batch check missed on this block: report the span of the
+            // range that falls inside it (what the sharing profiler uses).
+            let lo = addr.max(block.start);
+            let hi = (addr + len).min(block.start + block.len);
+            self.obs_event(
+                p,
+                shasta_obs::EventKind::CheckMiss {
+                    block: block.start,
+                    addr: lo,
+                    len: (hi - lo) as u32,
+                    write,
+                },
+            );
             match state {
                 LineState::PendingRead | LineState::PendingWrite => {
                     if self.cfg.mode == Mode::Smp {
                         self.stats.misses.merged += 1;
+                        self.obs_event(p, shasta_obs::EventKind::MissMerged { block: block.start });
                     }
                     // A write needs exclusivity; a pending read will not
                     // grant it, but the wake-and-retry loop re-requests.
@@ -884,7 +931,7 @@ impl Machine {
             self.charge_batch(p, addr, len, true);
         }
         let blocks = self.space.blocks_in(addr, len);
-        let waiting = self.prepare_range(p, &blocks, false);
+        let waiting = self.prepare_range(p, &blocks, false, addr, len);
         if waiting.is_empty() {
             let v = self.vnode(p);
             return Some(Resp::Data(self.mems[v].read(addr, len).to_vec()));
@@ -909,7 +956,7 @@ impl Machine {
             self.charge_batch(p, addr, data.len() as u64, false);
         }
         let blocks = self.space.blocks_in(addr, data.len() as u64);
-        let waiting = self.prepare_range(p, &blocks, true);
+        let waiting = self.prepare_range(p, &blocks, true, addr, data.len() as u64);
         if waiting.is_empty() {
             let v = self.vnode(p);
             self.mems[v].write(addr, data);

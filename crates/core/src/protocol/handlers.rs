@@ -767,6 +767,14 @@ impl Machine {
         assert_eq!(entry.requester, p, "reply delivered to a non-requester");
         let hops = self.classify_hops(p, src, block);
         self.stats.misses.record(miss_kind_of(ReqKind::Read), hops);
+        self.obs_event(
+            p,
+            shasta_obs::EventKind::MissResolved {
+                block: block.start,
+                kind: miss_kind_of(ReqKind::Read),
+                hops,
+            },
+        );
         let mut buf = data;
         entry.apply_stores(&mut buf);
         self.mems[v].write(block.start, &buf);
@@ -842,6 +850,14 @@ impl Machine {
         );
         let hops = self.classify_hops(p, src, block);
         self.stats.misses.record(miss_kind_of(entry.kind), hops);
+        self.obs_event(
+            p,
+            shasta_obs::EventKind::MissResolved {
+                block: block.start,
+                kind: miss_kind_of(entry.kind),
+                hops,
+            },
+        );
         let mut buf = data;
         entry.apply_stores(&mut buf);
         self.mems[v].write(block.start, &buf);
@@ -883,6 +899,14 @@ impl Machine {
         assert_eq!(entry.kind, ReqKind::Upgrade, "upgrade reply for a non-upgrade entry");
         let hops = self.classify_hops(p, src, block);
         self.stats.misses.record(miss_kind_of(ReqKind::Upgrade), hops);
+        self.obs_event(
+            p,
+            shasta_obs::EventKind::MissResolved {
+                block: block.start,
+                kind: miss_kind_of(ReqKind::Upgrade),
+                hops,
+            },
+        );
         let t = self.clocks[p as usize];
         self.trace.record(t, p, "upg-reply", || {
             format!("{:#x} acks {acks} early {}", block.start, entry.early_acks)

@@ -327,13 +327,40 @@ impl Machine {
 
     /// Enables structured protocol-event recording (the `shasta-obs` layer):
     /// per-processor rings of up to `ring_capacity` events each, plus the
-    /// streaming Figure 4 aggregation. Retrieve the result with
+    /// streaming aggregations (Figure 4 slices, Figure 6/7 rederivation,
+    /// and the sharing profiler). Retrieve the result with
     /// [`Machine::take_obs`] after [`Machine::run`].
+    ///
+    /// Call **after** [`Machine::setup`]: the recorder snapshots the shared
+    /// space (allocation extents, block sizes, site labels) and the
+    /// processor placement at this point, which is what the profiler and
+    /// the message-class rederivation classify against.
     ///
     /// When `shasta-core` is built without its `obs` feature the recording
     /// hooks are compiled out and the resulting log is empty.
     pub fn enable_obs(&mut self, ring_capacity: usize) {
-        self.obs = shasta_obs::Recorder::enabled(self.topo.procs() as usize, ring_capacity);
+        let mut rec = shasta_obs::Recorder::enabled(self.topo.procs() as usize, ring_capacity);
+        rec.attach_map(self.space_map());
+        self.obs = rec;
+    }
+
+    /// Snapshots the shared space and topology as the plain-data
+    /// [`SpaceMap`](shasta_obs::SpaceMap) the observability layer consumes.
+    fn space_map(&self) -> shasta_obs::SpaceMap {
+        shasta_obs::SpaceMap {
+            line_bytes: self.space.line_bytes(),
+            proc_phys_node: (0..self.topo.procs()).map(|p| self.topo.phys_node_of(p).0).collect(),
+            allocs: self
+                .space
+                .labeled_allocations()
+                .map(|(a, label)| shasta_obs::profile::AllocSite {
+                    start: a.start,
+                    len: a.len,
+                    block_bytes: a.block_bytes,
+                    label,
+                })
+                .collect(),
+        }
     }
 
     /// Takes the recorded event log (leaving recording disabled). Empty
@@ -509,10 +536,24 @@ impl SetupCtx<'_> {
     /// Panics on allocation failure (setup-time errors are programming
     /// errors in experiment definitions).
     pub fn malloc(&mut self, size: u64, block: BlockHint, home: HomeHint) -> Addr {
+        self.malloc_labeled(size, block, home, "anon")
+    }
+
+    /// [`malloc`](Self::malloc) with a caller-supplied site label naming the
+    /// allocation (e.g. `"bodies"`). The sharing profiler rolls per-block
+    /// classifications up to these labels, so label an application's major
+    /// shared arrays at their `malloc` call sites.
+    pub fn malloc_labeled(
+        &mut self,
+        size: u64,
+        block: BlockHint,
+        home: HomeHint,
+        label: &'static str,
+    ) -> Addr {
         let addr = self
             .m
             .space
-            .malloc(size, block, home)
+            .malloc_labeled(size, block, home, label)
             .unwrap_or_else(|e| panic!("setup allocation failed: {e}"));
         let alloc = *self.m.space.allocation_of(addr).expect("just allocated");
         let mut cur = alloc.start;

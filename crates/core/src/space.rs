@@ -170,6 +170,9 @@ pub struct SharedSpace {
     next: Addr,
     /// Allocations sorted by start address.
     allocs: Vec<Allocation>,
+    /// Caller-supplied site labels, parallel to `allocs`. Kept out of
+    /// [`Allocation`] so that struct stays plain serializable data.
+    labels: Vec<&'static str>,
 }
 
 impl SharedSpace {
@@ -182,7 +185,14 @@ impl SharedSpace {
     pub fn new(heap_bytes: u64, line_bytes: u64, procs: u32) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(procs > 0, "need at least one processor");
-        SharedSpace { heap_bytes, line_bytes, procs, next: HEAP_BASE, allocs: Vec::new() }
+        SharedSpace {
+            heap_bytes,
+            line_bytes,
+            procs,
+            next: HEAP_BASE,
+            allocs: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Line size in bytes.
@@ -229,6 +239,20 @@ impl SharedSpace {
         block: BlockHint,
         home: HomeHint,
     ) -> Result<Addr, AllocError> {
+        self.malloc_labeled(size, block, home, "anon")
+    }
+
+    /// [`malloc`](Self::malloc) with a caller-supplied **site label** naming
+    /// the allocation (e.g. `"bodies"`, `"lu-matrix"`). The sharing profiler
+    /// rolls per-block statistics up to these labels so granularity advice
+    /// can point at the `malloc` call that needs a different hint.
+    pub fn malloc_labeled(
+        &mut self,
+        size: u64,
+        block: BlockHint,
+        home: HomeHint,
+        label: &'static str,
+    ) -> Result<Addr, AllocError> {
         if size == 0 {
             return Err(AllocError::ZeroSize);
         }
@@ -263,7 +287,20 @@ impl SharedSpace {
         }
         self.next = end;
         self.allocs.push(Allocation { start, len, block_bytes, home });
+        self.labels.push(label);
         Ok(start)
+    }
+
+    /// The site label of the allocation containing `addr`, if allocated.
+    pub fn site_label_of(&self, addr: Addr) -> Option<&'static str> {
+        let i = self.allocs.partition_point(|a| a.start <= addr);
+        let a = self.allocs.get(i.checked_sub(1)?)?;
+        a.contains(addr).then(|| self.labels[i - 1])
+    }
+
+    /// All allocations with their site labels, in address order.
+    pub fn labeled_allocations(&self) -> impl Iterator<Item = (&Allocation, &'static str)> {
+        self.allocs.iter().zip(self.labels.iter().copied())
     }
 
     /// The allocation containing `addr`, if any.
@@ -404,6 +441,19 @@ mod tests {
             s.malloc(1 << 21, BlockHint::Line, HomeHint::RoundRobin),
             Err(AllocError::OutOfMemory { .. })
         ));
+    }
+
+    #[test]
+    fn site_labels_round_trip() {
+        let mut s = space();
+        let a = s.malloc_labeled(128, BlockHint::Line, HomeHint::RoundRobin, "bodies").unwrap();
+        let b = s.malloc(64, BlockHint::Line, HomeHint::RoundRobin).unwrap();
+        assert_eq!(s.site_label_of(a), Some("bodies"));
+        assert_eq!(s.site_label_of(a + 127), Some("bodies"));
+        assert_eq!(s.site_label_of(b), Some("anon"));
+        assert_eq!(s.site_label_of(HEAP_BASE - 1), None);
+        let labels: Vec<&str> = s.labeled_allocations().map(|(_, l)| l).collect();
+        assert_eq!(labels, vec!["bodies", "anon"]);
     }
 
     #[test]

@@ -81,10 +81,22 @@ pub fn to_chrome_json(log: &EventLog) -> String {
 /// Writes the `"args"` object body (no braces) for an instant event.
 fn write_args(s: &mut String, kind: &EventKind) {
     let _ = match *kind {
-        EventKind::CheckMiss { block, write } => {
-            write!(s, "\"block\":\"{block:#x}\",\"write\":{write}")
+        EventKind::CheckMiss { block, addr, len, write } => {
+            write!(
+                s,
+                "\"block\":\"{block:#x}\",\"addr\":\"{addr:#x}\",\"len\":{len},\"write\":{write}"
+            )
         }
         EventKind::FalseMiss { block } => write!(s, "\"block\":\"{block:#x}\""),
+        EventKind::MissResolved { block, kind, hops } => write!(
+            s,
+            "\"block\":\"{block:#x}\",\"kind\":\"{}\",\"hops\":\"{}\"",
+            kind.label(),
+            hops.label()
+        ),
+        EventKind::PrivateUpgrade { block } | EventKind::MissMerged { block } => {
+            write!(s, "\"block\":\"{block:#x}\"")
+        }
         EventKind::MsgSend { msg, peer, block } | EventKind::MsgRecv { msg, peer, block } => {
             write!(s, "\"msg\":{},\"peer\":{peer},\"block\":\"{block:#x}\"", quote(msg))
         }
@@ -355,7 +367,11 @@ mod tests {
     fn sample_log() -> EventLog {
         let mut r = Recorder::enabled(2, 64);
         r.record(0, 0, EventKind::Slice { cat: TimeCat::Task, cycles: 100 });
-        r.record(100, 0, EventKind::CheckMiss { block: 0x12340, write: true });
+        r.record(
+            100,
+            0,
+            EventKind::CheckMiss { block: 0x12340, addr: 0x12348, len: 8, write: true },
+        );
         r.record(100, 0, EventKind::MsgSend { msg: "write-req", peer: 1, block: 0x12340 });
         r.record(100, 0, EventKind::StallBegin { cat: TimeCat::Write });
         r.record(40, 1, EventKind::MsgRecv { msg: "write-req", peer: 0, block: 0x12340 });
@@ -424,6 +440,77 @@ mod tests {
         assert_eq!(
             thread.get("args").and_then(|a| a.get("dropped")).and_then(Json::as_u64),
             Some(3)
+        );
+    }
+
+    #[test]
+    fn empty_ring_exports_metadata_only() {
+        let r = Recorder::enabled(2, 8);
+        let log = r.into_log();
+        assert!(log.is_empty());
+        let json = to_chrome_json(&log);
+        let doc = parse(&json).expect("empty export parses");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 1 process_name + 2 thread_name, nothing else.
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+    }
+
+    #[test]
+    fn single_event_ring_exports_one_instant() {
+        let mut r = Recorder::enabled(1, 8);
+        r.record(7, 0, EventKind::MissMerged { block: 0x1040 });
+        let json = to_chrome_json(&r.into_log());
+        let doc = parse(&json).expect("single-event export parses");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let instants: Vec<&Json> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("i")).collect();
+        assert_eq!(instants.len(), 1);
+        assert_eq!(instants[0].get("name").and_then(Json::as_str), Some("miss-merged"));
+        assert_eq!(instants[0].get("ts").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            instants[0].get("args").and_then(|a| a.get("block")).and_then(Json::as_str),
+            Some("0x1040")
+        );
+    }
+
+    #[test]
+    fn wrapped_ring_exports_suffix_and_stays_parseable() {
+        let mut r = Recorder::enabled(1, 4);
+        // 10 events into a 4-slot ring: the oldest 6 are evicted. Mix kinds
+        // so eviction crosses kind boundaries.
+        for i in 0..5u64 {
+            r.record(
+                i,
+                0,
+                EventKind::CheckMiss { block: 0x1000, addr: 0x1000 + i, len: 8, write: true },
+            );
+        }
+        for i in 5..10u64 {
+            r.record(i, 0, EventKind::Slice { cat: TimeCat::Task, cycles: 1 });
+        }
+        let log = r.into_log();
+        assert_eq!(log.dropped(), 6);
+        assert_eq!(log.len(), 4);
+        let json = to_chrome_json(&log);
+        let doc = parse(&json).expect("wrapped export parses");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2 + 4, "metadata plus the retained suffix");
+        // The retained timeline is the newest events, still in time order.
+        let ts: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) != Some("M"))
+            .map(|e| e.get("ts").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(ts, vec![6, 7, 8, 9]);
+        // The thread metadata reports the eviction count.
+        let thread = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .unwrap();
+        assert_eq!(
+            thread.get("args").and_then(|a| a.get("dropped")).and_then(Json::as_u64),
+            Some(6)
         );
     }
 

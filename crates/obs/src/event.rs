@@ -1,6 +1,6 @@
 //! The event schema: everything the protocol engine can report.
 
-use shasta_stats::TimeCat;
+use shasta_stats::{Hops, MissKind, TimeCat};
 
 /// One recorded protocol event.
 ///
@@ -31,6 +31,14 @@ pub enum EventKind {
     CheckMiss {
         /// Starting address of the missed block.
         block: u64,
+        /// The faulting shared-space address (the access that missed; for a
+        /// batched range access, the range clamped to the block). The offset
+        /// `addr - block` is what the sharing profiler uses to tell true
+        /// sharing from false sharing within a block.
+        addr: u64,
+        /// Access length in bytes (scalar width, or the clamped range
+        /// extent), so `[addr, addr + len)` is the touched span.
+        len: u32,
         /// True for a store-side miss, false for a load-side miss.
         write: bool,
     },
@@ -38,6 +46,30 @@ pub enum EventKind {
     /// happened to equal the invalid flag (§2.3 "false miss").
     FalseMiss {
         /// Starting address of the falsely-missed block.
+        block: u64,
+    },
+    /// A miss finished: the reply handler classified it for the Figure 6
+    /// matrix. Emitted at exactly the engine sites that increment
+    /// `MissStats`, so the event stream rederives Figure 6 exactly.
+    MissResolved {
+        /// Starting address of the block whose miss completed.
+        block: u64,
+        /// Read / write / upgrade, as recorded by the reply handler (an
+        /// upgrade converted to a write serve still counts as an upgrade).
+        kind: MissKind,
+        /// Two-hop or three-hop per the paper's §4.4 classification.
+        hops: Hops,
+    },
+    /// A store hit a block already exclusive on the node: SMP-Shasta
+    /// upgraded the private table without any protocol traffic.
+    PrivateUpgrade {
+        /// Starting address of the upgraded block.
+        block: u64,
+    },
+    /// A miss merged into an already-pending request for the same block
+    /// (SMP-Shasta: a node mate's request is outstanding).
+    MissMerged {
+        /// Starting address of the pending block.
         block: u64,
     },
     /// A protocol message left this processor for another one.
@@ -128,6 +160,9 @@ impl EventKind {
         match self {
             EventKind::CheckMiss { .. } => "check-miss",
             EventKind::FalseMiss { .. } => "false-miss",
+            EventKind::MissResolved { .. } => "miss-resolved",
+            EventKind::PrivateUpgrade { .. } => "private-upgrade",
+            EventKind::MissMerged { .. } => "miss-merged",
             EventKind::MsgSend { .. } => "msg-send",
             EventKind::MsgRecv { .. } => "msg-recv",
             EventKind::DowngradeStart { .. } => "downgrade-start",
@@ -149,9 +184,18 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(EventKind::CheckMiss { block: 0, write: false }.name(), "check-miss");
+        assert_eq!(
+            EventKind::CheckMiss { block: 0, addr: 0, len: 8, write: false }.name(),
+            "check-miss"
+        );
         assert_eq!(EventKind::Slice { cat: TimeCat::Task, cycles: 1 }.name(), "slice");
         assert_eq!(EventKind::PollDrain { handled: 2 }.name(), "poll-drain");
+        assert_eq!(
+            EventKind::MissResolved { block: 0, kind: MissKind::Read, hops: Hops::Two }.name(),
+            "miss-resolved"
+        );
+        assert_eq!(EventKind::PrivateUpgrade { block: 0 }.name(), "private-upgrade");
+        assert_eq!(EventKind::MissMerged { block: 0 }.name(), "miss-merged");
     }
 
     #[test]

@@ -10,7 +10,16 @@
 //! events for timeline export and *streams* every time slice into a
 //! [`Fig4Agg`], so the Figure 4 execution-time breakdown can be derived from
 //! the event stream itself and cross-checked against the `shasta-stats`
-//! counters (any divergence is a bug in one of the two paths).
+//! counters (any divergence is a bug in one of the two paths). The same
+//! zero-tolerance idea extends to Figures 6 and 7: [`MissAgg`] and
+//! [`MsgAgg`] rederive the miss and message counters from the stream.
+//!
+//! On top of the raw stream sits the **sharing profiler**
+//! ([`profile::ProfileAgg`]): per-block sharing histories classified into
+//! patterns (read-mostly, migratory, producer–consumer, false-shared,
+//! private), rolled up to `malloc` site labels, with a granularity advisor
+//! that recommends per-allocation block-size hints
+//! ([`profile::ProfileAgg::advise`]).
 //!
 //! Exporters:
 //!
@@ -19,6 +28,8 @@
 //!   [Perfetto](https://ui.perfetto.dev) as a per-processor timeline.
 //! * [`Fig4Agg::breakdown`] reproduces the per-processor Figure 4 breakdown
 //!   from the slice stream alone.
+//! * [`profile::ProfileAgg::advise`] emits one granularity recommendation
+//!   per allocation site, with evidence.
 //!
 //! Recording is compiled out entirely when the `obs` feature of
 //! `shasta-core` is disabled; this crate itself is dependency-light (only
@@ -33,8 +44,12 @@
 pub mod chrome;
 mod event;
 mod fig4;
+pub mod profile;
 mod recorder;
+mod rederive;
 
 pub use event::{Event, EventKind};
 pub use fig4::Fig4Agg;
+pub use profile::{ProfileAgg, Recommendation, SharingPattern, SiteReport, SpaceMap};
 pub use recorder::{EventLog, ProcEvents, Recorder};
+pub use rederive::{MissAgg, MsgAgg};

@@ -1,0 +1,623 @@
+//! Sharing-pattern profiler and per-allocation granularity advisor.
+//!
+//! The paper's variable coherence granularity (§2.1, Table 2, Figure 5) is
+//! Shasta's main knob for trading false sharing against transfer
+//! amortization, but the hint passed to `malloc` is normally picked by
+//! guesswork. This module closes the loop: a [`ProfileAgg`] streams over the
+//! event stream (fed at record time, so ring eviction never loses history),
+//! maintains a per-block [`BlockHistory`] — miss kind × hop count, downgrade
+//! fan-out, inter-node writer alternation, readers per write epoch, and
+//! per-node touch extents — and classifies each block's
+//! [`SharingPattern`]. Classifications roll up to the allocation **site
+//! labels** the application passed to `malloc`, and [`ProfileAgg::advise`]
+//! emits one [`SiteReport`] per site with a recommended block-size hint and
+//! the evidence behind it (e.g. *"2 nodes touch disjoint ranges of each
+//! 256 B block — split to 64 B"*).
+//!
+//! The profiler is decoupled from `shasta-core`: the engine hands it a plain
+//! [`SpaceMap`] snapshot (allocation extents, block sizes, labels, and the
+//! processor → physical-node mapping) when observation is enabled.
+
+use std::collections::BTreeMap;
+
+use shasta_stats::{Hops, MissKind};
+
+use crate::event::EventKind;
+
+/// One shared-space allocation as the profiler sees it: extent, coherence
+/// granularity, and the caller-supplied site label.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocSite {
+    /// First byte of the allocation (block-aligned).
+    pub start: u64,
+    /// Extent in bytes (a multiple of `block_bytes`).
+    pub len: u64,
+    /// Coherence granularity in bytes.
+    pub block_bytes: u64,
+    /// The site label passed to `malloc` (e.g. `"bodies"`).
+    pub label: &'static str,
+}
+
+/// Plain-data snapshot of the shared space and topology, taken when
+/// observation is enabled (after application setup, so every allocation is
+/// known). Keeps `shasta-obs` decoupled from `shasta-core`'s types.
+#[derive(Clone, Debug, Default)]
+pub struct SpaceMap {
+    /// Line size in bytes — the lower bound for any granularity advice.
+    pub line_bytes: u64,
+    /// Physical SMP node of each processor (index = processor id).
+    pub proc_phys_node: Vec<u32>,
+    /// Allocations sorted by start address.
+    pub allocs: Vec<AllocSite>,
+}
+
+impl SpaceMap {
+    /// Index into [`allocs`](Self::allocs) of the allocation containing
+    /// `addr`, if any.
+    pub fn site_index_of(&self, addr: u64) -> Option<usize> {
+        let i = self.allocs.partition_point(|a| a.start <= addr).checked_sub(1)?;
+        let a = self.allocs.get(i)?;
+        (addr >= a.start && addr < a.start + a.len).then_some(i)
+    }
+
+    /// Block size of the allocation containing `addr`, if any.
+    pub fn block_bytes_of(&self, addr: u64) -> Option<u64> {
+        self.site_index_of(addr).map(|i| self.allocs[i].block_bytes)
+    }
+
+    /// Physical node of processor `p`.
+    pub fn phys_node_of(&self, p: u32) -> u32 {
+        self.proc_phys_node.get(p as usize).copied().unwrap_or(0)
+    }
+
+    /// Whether two processors share a physical SMP node.
+    pub fn same_phys(&self, a: u32, b: u32) -> bool {
+        self.phys_node_of(a) == self.phys_node_of(b)
+    }
+}
+
+/// The sharing pattern a block's miss history exhibits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SharingPattern {
+    /// Only one node ever touched the block after setup.
+    Private,
+    /// Multiple nodes read the block; writes are absent or negligible.
+    ReadMostly,
+    /// Ownership ping-pongs between nodes that each read and write the
+    /// whole datum (overlapping extents, few readers between writes).
+    Migratory,
+    /// A stable writer (or writers) produces values other nodes consume:
+    /// write epochs are separated by reads from other nodes.
+    ProducerConsumer,
+    /// Different nodes touch **disjoint** byte ranges of the same block —
+    /// the coherence traffic is an artifact of the granularity, not of the
+    /// data (§2.1's motivation for smaller blocks).
+    FalseShared,
+}
+
+impl SharingPattern {
+    /// All patterns in report order.
+    pub const ALL: [SharingPattern; 5] = [
+        SharingPattern::Private,
+        SharingPattern::ReadMostly,
+        SharingPattern::Migratory,
+        SharingPattern::ProducerConsumer,
+        SharingPattern::FalseShared,
+    ];
+
+    /// Short stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharingPattern::Private => "private",
+            SharingPattern::ReadMostly => "read-mostly",
+            SharingPattern::Migratory => "migratory",
+            SharingPattern::ProducerConsumer => "prod-cons",
+            SharingPattern::FalseShared => "false-shared",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).expect("pattern in ALL")
+    }
+}
+
+/// The byte range of a block one node has touched (miss-faulting spans;
+/// `hi` is exclusive).
+#[derive(Clone, Copy, Debug)]
+struct NodeExtent {
+    node: u32,
+    lo: u64,
+    hi: u64,
+}
+
+/// Everything the profiler remembers about one coherence block.
+#[derive(Clone, Debug)]
+pub struct BlockHistory {
+    /// Index of the owning allocation in the [`SpaceMap`] (`usize::MAX` if
+    /// the block start fell outside every known allocation).
+    pub site: usize,
+    /// Load-side protocol entries (read misses) on this block.
+    pub read_misses: u64,
+    /// Store-side protocol entries (write/upgrade misses) on this block.
+    pub write_misses: u64,
+    /// Figure 6 matrix for this block: counts\[kind\]\[hops\].
+    pub miss_hops: [[u64; 2]; 3],
+    /// Downgrades of this block (SMP-Shasta).
+    pub downgrades: u64,
+    /// Total downgrade messages across those downgrades (fan-out).
+    pub downgrade_msgs: u64,
+    /// Misses satisfied by a private-table upgrade (block already on node).
+    pub private_upgrades: u64,
+    /// Misses merged into an already-pending request.
+    pub merged: u64,
+    /// Times a write miss came from a different node than the previous one.
+    pub writer_alternations: u64,
+    /// Write epochs observed (one per write miss).
+    pub epochs: u64,
+    reader_nodes: u64,
+    writer_nodes: u64,
+    last_writer: Option<u32>,
+    epoch_readers: u64,
+    epoch_reader_total: u64,
+    extents: Vec<NodeExtent>,
+}
+
+impl BlockHistory {
+    fn new(site: usize) -> Self {
+        BlockHistory {
+            site,
+            read_misses: 0,
+            write_misses: 0,
+            miss_hops: [[0; 2]; 3],
+            downgrades: 0,
+            downgrade_msgs: 0,
+            private_upgrades: 0,
+            merged: 0,
+            writer_alternations: 0,
+            epochs: 0,
+            reader_nodes: 0,
+            writer_nodes: 0,
+            last_writer: None,
+            epoch_readers: 0,
+            epoch_reader_total: 0,
+            extents: Vec::new(),
+        }
+    }
+
+    fn bit(node: u32) -> u64 {
+        1u64 << node.min(63)
+    }
+
+    fn touch_extent(&mut self, node: u32, lo: u64, hi: u64) {
+        match self.extents.iter_mut().find(|e| e.node == node) {
+            Some(e) => {
+                e.lo = e.lo.min(lo);
+                e.hi = e.hi.max(hi);
+            }
+            None => self.extents.push(NodeExtent { node, lo, hi }),
+        }
+    }
+
+    fn note_miss(&mut self, node: u32, off: u64, len: u64, write: bool) {
+        self.touch_extent(node, off, off + len.max(1));
+        if write {
+            self.write_misses += 1;
+            self.writer_nodes |= Self::bit(node);
+            if let Some(prev) = self.last_writer {
+                if prev != node {
+                    self.writer_alternations += 1;
+                }
+            }
+            self.last_writer = Some(node);
+            self.epochs += 1;
+            self.epoch_reader_total += u64::from(self.epoch_readers.count_ones());
+            self.epoch_readers = 0;
+        } else {
+            self.read_misses += 1;
+            self.reader_nodes |= Self::bit(node);
+            self.epoch_readers |= Self::bit(node);
+        }
+    }
+
+    /// Number of distinct nodes that read-missed on the block.
+    pub fn distinct_readers(&self) -> u32 {
+        self.reader_nodes.count_ones()
+    }
+
+    /// Number of distinct nodes that write-missed on the block.
+    pub fn distinct_writers(&self) -> u32 {
+        self.writer_nodes.count_ones()
+    }
+
+    /// Number of distinct nodes that touched the block at all.
+    pub fn distinct_nodes(&self) -> u32 {
+        (self.reader_nodes | self.writer_nodes).count_ones()
+    }
+
+    /// Mean number of distinct reading nodes between consecutive writes.
+    pub fn readers_per_epoch(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.epoch_reader_total as f64 / self.epochs as f64
+        }
+    }
+
+    /// Whether the per-node touch extents are pairwise disjoint — the
+    /// signature of false sharing (each node uses its own slice of the
+    /// block, yet the whole block bounces).
+    pub fn extents_disjoint(&self) -> bool {
+        if self.extents.len() < 2 {
+            return false;
+        }
+        let mut sorted = self.extents.clone();
+        sorted.sort_by_key(|e| e.lo);
+        sorted.windows(2).all(|w| w[0].hi <= w[1].lo)
+    }
+
+    /// Widest single-node touch span in bytes (from the recorded faulting
+    /// spans).
+    pub fn max_node_span(&self) -> u64 {
+        self.extents.iter().map(|e| e.hi - e.lo).max().unwrap_or(0)
+    }
+
+    /// Classifies the block's sharing pattern from its history.
+    pub fn pattern(&self) -> SharingPattern {
+        if self.distinct_nodes() <= 1 {
+            return SharingPattern::Private;
+        }
+        if self.write_misses == 0 {
+            return SharingPattern::ReadMostly;
+        }
+        if self.extents_disjoint() {
+            return SharingPattern::FalseShared;
+        }
+        if self.write_misses * 20 <= self.read_misses {
+            return SharingPattern::ReadMostly;
+        }
+        if self.distinct_writers() >= 2 && self.readers_per_epoch() <= 0.5 {
+            return SharingPattern::Migratory;
+        }
+        SharingPattern::ProducerConsumer
+    }
+}
+
+/// Granularity advice for one allocation site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Recommendation {
+    /// The current block size looks right (or there is no evidence).
+    Keep,
+    /// Split to smaller blocks of the given size (false sharing dominates).
+    Shrink(u64),
+    /// Merge into larger blocks of the given size (read-mostly data paying
+    /// per-block protocol overhead that larger transfers would amortize).
+    Grow(u64),
+}
+
+impl Recommendation {
+    /// The block-size hint to re-run with, if the advice is a change.
+    pub fn hint_bytes(self) -> Option<u64> {
+        match self {
+            Recommendation::Keep => None,
+            Recommendation::Shrink(n) | Recommendation::Grow(n) => Some(n),
+        }
+    }
+
+    /// Human-readable rendering (`"keep"`, `"split to 64 B"`, …).
+    pub fn describe(self) -> String {
+        match self {
+            Recommendation::Keep => "keep".to_string(),
+            Recommendation::Shrink(n) => format!("split to {n} B"),
+            Recommendation::Grow(n) => format!("grow to {n} B"),
+        }
+    }
+}
+
+/// The advisor's verdict for one allocation site.
+#[derive(Clone, Debug)]
+pub struct SiteReport {
+    /// The site label passed to `malloc`.
+    pub label: &'static str,
+    /// The site's current coherence granularity in bytes.
+    pub block_bytes: u64,
+    /// Blocks of this site that saw any protocol activity.
+    pub blocks_touched: u64,
+    /// Blocks per sharing pattern, indexed like [`SharingPattern::ALL`].
+    pub pattern_blocks: [u64; 5],
+    /// Total read misses over the site's blocks.
+    pub read_misses: u64,
+    /// Total write misses over the site's blocks.
+    pub write_misses: u64,
+    /// The recommended granularity change.
+    pub recommendation: Recommendation,
+    /// One-line justification of the recommendation.
+    pub evidence: String,
+}
+
+impl SiteReport {
+    /// The most common sharing pattern among the site's touched blocks
+    /// (`Private` when nothing was touched).
+    pub fn dominant(&self) -> SharingPattern {
+        let mut best = SharingPattern::Private;
+        let mut best_n = 0;
+        for p in SharingPattern::ALL {
+            let n = self.pattern_blocks[p.index()];
+            if n > best_n {
+                best = p;
+                best_n = n;
+            }
+        }
+        best
+    }
+}
+
+/// Streaming sharing-pattern aggregator. Fed every recorded event (before
+/// ring eviction, like the Figure 4 aggregator), so its histories cover the
+/// whole run regardless of ring capacity.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileAgg {
+    map: SpaceMap,
+    blocks: BTreeMap<u64, BlockHistory>,
+}
+
+impl ProfileAgg {
+    /// A profiler over the given space snapshot.
+    pub fn new(map: SpaceMap) -> Self {
+        ProfileAgg { map, blocks: BTreeMap::new() }
+    }
+
+    /// The space snapshot this profiler classifies against.
+    pub fn map(&self) -> &SpaceMap {
+        &self.map
+    }
+
+    /// Feeds one event from processor `p` into the per-block histories.
+    pub fn observe(&mut self, p: u32, kind: &EventKind) {
+        match *kind {
+            EventKind::CheckMiss { block, addr, len, write } => {
+                let node = self.map.phys_node_of(p);
+                let off = addr.saturating_sub(block);
+                self.touch(block).note_miss(node, off, u64::from(len), write);
+            }
+            EventKind::MissResolved { block, kind, hops } => {
+                let k = MissKind::ALL.iter().position(|&x| x == kind).expect("kind in ALL");
+                let h = Hops::ALL.iter().position(|&x| x == hops).expect("hops in ALL");
+                self.touch(block).miss_hops[k][h] += 1;
+            }
+            EventKind::PrivateUpgrade { block } => self.touch(block).private_upgrades += 1,
+            EventKind::MissMerged { block } => self.touch(block).merged += 1,
+            EventKind::DowngradeStart { block, targets, .. } => {
+                let h = self.touch(block);
+                h.downgrades += 1;
+                h.downgrade_msgs += u64::from(targets);
+            }
+            _ => {}
+        }
+    }
+
+    fn touch(&mut self, block: u64) -> &mut BlockHistory {
+        let site = self.map.site_index_of(block).unwrap_or(usize::MAX);
+        self.blocks.entry(block).or_insert_with(|| BlockHistory::new(site))
+    }
+
+    /// History of the block starting at `start`, if it saw any activity.
+    pub fn block(&self, start: u64) -> Option<&BlockHistory> {
+        self.blocks.get(&start)
+    }
+
+    /// All touched blocks with their histories, in address order.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, &BlockHistory)> {
+        self.blocks.iter().map(|(&b, h)| (b, h))
+    }
+
+    /// Number of blocks that saw any protocol activity.
+    pub fn touched(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Rolls block classifications up to allocation sites and emits one
+    /// granularity-advisor report per site (in allocation order).
+    pub fn advise(&self) -> Vec<SiteReport> {
+        let line = self.map.line_bytes.max(1);
+        self.map
+            .allocs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let mut pattern_blocks = [0u64; 5];
+                let mut read_misses = 0;
+                let mut write_misses = 0;
+                let mut blocks_touched = 0;
+                let mut max_span = 0u64;
+                let mut fs_nodes = 0u32;
+                for h in self.blocks.values().filter(|h| h.site == i) {
+                    blocks_touched += 1;
+                    read_misses += h.read_misses;
+                    write_misses += h.write_misses;
+                    let p = h.pattern();
+                    pattern_blocks[p.index()] += 1;
+                    if p == SharingPattern::FalseShared {
+                        max_span = max_span.max(h.max_node_span());
+                        fs_nodes = fs_nodes.max(h.distinct_nodes());
+                    }
+                }
+                let mut report = SiteReport {
+                    label: a.label,
+                    block_bytes: a.block_bytes,
+                    blocks_touched,
+                    pattern_blocks,
+                    read_misses,
+                    write_misses,
+                    recommendation: Recommendation::Keep,
+                    evidence: String::new(),
+                };
+                let fs = pattern_blocks[SharingPattern::FalseShared.index()];
+                let rm = pattern_blocks[SharingPattern::ReadMostly.index()];
+                if blocks_touched == 0 {
+                    report.evidence = "no protocol activity".to_string();
+                } else if fs > 0 && fs * 2 >= blocks_touched {
+                    // Smallest line multiple that still holds the widest
+                    // single-node working range.
+                    let rec = max_span.div_ceil(line).max(1) * line;
+                    if rec < a.block_bytes {
+                        report.recommendation = Recommendation::Shrink(rec);
+                        report.evidence = format!(
+                            "{fs_nodes} nodes touch disjoint ranges of each {} B block \
+                             (max node span {max_span} B) — split to {rec} B",
+                            a.block_bytes
+                        );
+                    } else {
+                        report.evidence = format!(
+                            "false sharing detected but node ranges span the whole \
+                             {} B block — no smaller granularity separates them",
+                            a.block_bytes
+                        );
+                    }
+                } else if rm * 4 >= blocks_touched * 3
+                    && blocks_touched >= 4
+                    && a.block_bytes < 2_048
+                {
+                    let rec = (a.block_bytes * 4).min(2_048);
+                    report.recommendation = Recommendation::Grow(rec);
+                    report.evidence = format!(
+                        "read-mostly across {blocks_touched} blocks — larger transfers \
+                         amortize per-block protocol overhead"
+                    );
+                } else {
+                    report.evidence = format!(
+                        "dominant pattern {}; granularity left alone",
+                        report.dominant().label()
+                    );
+                }
+                report
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_one_alloc(block_bytes: u64) -> SpaceMap {
+        SpaceMap {
+            line_bytes: 64,
+            // 4 processors, 2 per node.
+            proc_phys_node: vec![0, 0, 1, 1],
+            allocs: vec![AllocSite { start: 0x1000, len: 4_096, block_bytes, label: "arr" }],
+        }
+    }
+
+    fn miss(agg: &mut ProfileAgg, p: u32, block: u64, off: u64, write: bool) {
+        agg.observe(p, &EventKind::CheckMiss { block, addr: block + off, len: 8, write });
+    }
+
+    #[test]
+    fn disjoint_writers_classify_as_false_shared_and_advise_split() {
+        let mut agg = ProfileAgg::new(map_one_alloc(256));
+        for round in 0..8 {
+            for b in (0x1000..0x1400).step_by(256) {
+                // Node 0 writes the low half, node 1 the high half.
+                miss(&mut agg, 0, b, (round % 4) * 8, true);
+                miss(&mut agg, 2, b, 128 + (round % 4) * 8, true);
+            }
+        }
+        let h = agg.block(0x1000).unwrap();
+        assert_eq!(h.pattern(), SharingPattern::FalseShared);
+        assert!(h.extents_disjoint());
+        assert!(h.writer_alternations > 0);
+        let reports = agg.advise();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.dominant(), SharingPattern::FalseShared);
+        match r.recommendation {
+            Recommendation::Shrink(n) => assert!((64..256).contains(&n), "got {n}"),
+            other => panic!("expected Shrink, got {other:?}"),
+        }
+        assert!(r.evidence.contains("disjoint"), "evidence: {}", r.evidence);
+    }
+
+    #[test]
+    fn alternating_whole_block_writers_are_migratory() {
+        let mut agg = ProfileAgg::new(map_one_alloc(256));
+        for round in 0..6 {
+            let p = if round % 2 == 0 { 0 } else { 2 };
+            // Both nodes touch the same full range: overlapping extents.
+            miss(&mut agg, p, 0x1000, 0, true);
+            miss(&mut agg, p, 0x1000, 200, true);
+        }
+        assert_eq!(agg.block(0x1000).unwrap().pattern(), SharingPattern::Migratory);
+    }
+
+    #[test]
+    fn stable_writer_with_remote_readers_is_producer_consumer() {
+        let mut agg = ProfileAgg::new(map_one_alloc(256));
+        for _ in 0..5 {
+            miss(&mut agg, 0, 0x1000, 0, true);
+            miss(&mut agg, 2, 0x1000, 0, false);
+            miss(&mut agg, 3, 0x1000, 8, false);
+        }
+        let h = agg.block(0x1000).unwrap();
+        assert_eq!(h.pattern(), SharingPattern::ProducerConsumer);
+        assert!(h.readers_per_epoch() >= 0.5);
+    }
+
+    #[test]
+    fn reads_only_are_read_mostly_and_single_node_is_private() {
+        let mut agg = ProfileAgg::new(map_one_alloc(256));
+        miss(&mut agg, 0, 0x1000, 0, false);
+        miss(&mut agg, 2, 0x1000, 0, false);
+        assert_eq!(agg.block(0x1000).unwrap().pattern(), SharingPattern::ReadMostly);
+        miss(&mut agg, 1, 0x1100, 0, true);
+        miss(&mut agg, 0, 0x1100, 8, false);
+        assert_eq!(agg.block(0x1100).unwrap().pattern(), SharingPattern::Private);
+    }
+
+    #[test]
+    fn read_mostly_sites_get_grow_advice() {
+        let mut agg = ProfileAgg::new(map_one_alloc(64));
+        for b in (0x1000..0x1100).step_by(64) {
+            miss(&mut agg, 0, b, 0, false);
+            miss(&mut agg, 2, b, 8, false);
+        }
+        let r = &agg.advise()[0];
+        assert_eq!(r.dominant(), SharingPattern::ReadMostly);
+        assert!(matches!(r.recommendation, Recommendation::Grow(n) if n > 64));
+    }
+
+    #[test]
+    fn miss_matrix_and_downgrades_accumulate_per_block() {
+        let mut agg = ProfileAgg::new(map_one_alloc(256));
+        agg.observe(
+            0,
+            &EventKind::MissResolved { block: 0x1000, kind: MissKind::Read, hops: Hops::Three },
+        );
+        agg.observe(1, &EventKind::DowngradeStart { block: 0x1000, to_invalid: true, targets: 3 });
+        agg.observe(1, &EventKind::PrivateUpgrade { block: 0x1000 });
+        agg.observe(1, &EventKind::MissMerged { block: 0x1000 });
+        let h = agg.block(0x1000).unwrap();
+        assert_eq!(h.miss_hops[0][1], 1);
+        assert_eq!((h.downgrades, h.downgrade_msgs), (1, 3));
+        assert_eq!((h.private_upgrades, h.merged), (1, 1));
+    }
+
+    #[test]
+    fn untouched_sites_report_no_activity() {
+        let agg = ProfileAgg::new(map_one_alloc(256));
+        let r = &agg.advise()[0];
+        assert_eq!(r.blocks_touched, 0);
+        assert_eq!(r.recommendation, Recommendation::Keep);
+        assert_eq!(r.evidence, "no protocol activity");
+    }
+
+    #[test]
+    fn space_map_lookups() {
+        let m = map_one_alloc(256);
+        assert_eq!(m.site_index_of(0x1000), Some(0));
+        assert_eq!(m.site_index_of(0x1fff), Some(0));
+        assert_eq!(m.site_index_of(0x2000), None);
+        assert_eq!(m.block_bytes_of(0x1234), Some(256));
+        assert!(m.same_phys(0, 1));
+        assert!(!m.same_phys(1, 2));
+    }
+}

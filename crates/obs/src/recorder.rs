@@ -1,9 +1,12 @@
 //! The recorder: per-processor bounded event rings plus the streaming
-//! Figure 4 aggregator, and the immutable [`EventLog`] a finished run
-//! hands to the exporters.
+//! aggregators (Figure 4 slices, Figure 6/7 rederivation, the sharing
+//! profiler), and the immutable [`EventLog`] a finished run hands to the
+//! exporters.
 
 use crate::event::{Event, EventKind};
 use crate::fig4::Fig4Agg;
+use crate::profile::{ProfileAgg, SpaceMap};
+use crate::rederive::{MissAgg, MsgAgg};
 
 /// Bounded ring of recent events for one processor. When full, the oldest
 /// event is overwritten and counted as dropped — the exported timeline is a
@@ -49,6 +52,9 @@ impl ProcRing {
 pub struct Recorder {
     rings: Vec<ProcRing>,
     agg: Fig4Agg,
+    miss: MissAgg,
+    msg: Option<MsgAgg>,
+    profile: Option<ProfileAgg>,
     enabled: bool,
 }
 
@@ -64,6 +70,9 @@ impl Recorder {
         Recorder {
             rings: (0..procs).map(|_| ProcRing::new(ring_capacity)).collect(),
             agg: Fig4Agg::new(procs),
+            miss: MissAgg::default(),
+            msg: None,
+            profile: None,
             enabled: true,
         }
     }
@@ -71,6 +80,15 @@ impl Recorder {
     /// Whether this recorder keeps events.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Attaches a shared-space snapshot, enabling the message-class
+    /// rederivation and the sharing profiler (both need the allocation table
+    /// and processor placement). Call after application setup so every
+    /// allocation — and its site label — is known.
+    pub fn attach_map(&mut self, map: SpaceMap) {
+        self.msg = Some(MsgAgg::new(map.clone()));
+        self.profile = Some(ProfileAgg::new(map));
     }
 
     /// Records `kind` happening on processor `p` at simulated cycle `t`.
@@ -81,6 +99,13 @@ impl Recorder {
         }
         if let EventKind::Slice { cat, cycles } = kind {
             self.agg.observe_slice(p, t, cat, cycles);
+        }
+        self.miss.observe(&kind);
+        if let Some(msg) = &mut self.msg {
+            msg.observe(p, &kind);
+        }
+        if let Some(profile) = &mut self.profile {
+            profile.observe(p, &kind);
         }
         self.rings[p as usize].push(Event { t, proc: p, kind });
     }
@@ -97,6 +122,9 @@ impl Recorder {
                 })
                 .collect(),
             agg: self.agg,
+            miss: self.miss,
+            msg: self.msg,
+            profile: self.profile,
         }
     }
 }
@@ -116,6 +144,9 @@ pub struct ProcEvents {
 pub struct EventLog {
     procs: Vec<ProcEvents>,
     agg: Fig4Agg,
+    miss: MissAgg,
+    msg: Option<MsgAgg>,
+    profile: Option<ProfileAgg>,
 }
 
 impl EventLog {
@@ -148,6 +179,23 @@ impl EventLog {
     /// run regardless of ring eviction).
     pub fn fig4(&self) -> &Fig4Agg {
         &self.agg
+    }
+
+    /// The event-derived Figure 6 miss counters (streamed, run-wide).
+    pub fn misses(&self) -> &MissAgg {
+        &self.miss
+    }
+
+    /// The event-derived Figure 7 message counters, if a [`SpaceMap`] was
+    /// attached before the run.
+    pub fn msgs(&self) -> Option<&MsgAgg> {
+        self.msg.as_ref()
+    }
+
+    /// The sharing-pattern profiler, if a [`SpaceMap`] was attached before
+    /// the run.
+    pub fn profile(&self) -> Option<&ProfileAgg> {
+        self.profile.as_ref()
     }
 
     /// Iterates every retained event, processor by processor.
@@ -201,8 +249,8 @@ mod tests {
     #[test]
     fn events_route_to_their_processor() {
         let mut r = Recorder::enabled(2, 8);
-        r.record(1, 0, EventKind::CheckMiss { block: 0x40, write: false });
-        r.record(2, 1, EventKind::CheckMiss { block: 0x80, write: true });
+        r.record(1, 0, EventKind::CheckMiss { block: 0x40, addr: 0x48, len: 8, write: false });
+        r.record(2, 1, EventKind::CheckMiss { block: 0x80, addr: 0x80, len: 4, write: true });
         let log = r.into_log();
         assert_eq!(log.proc(0).events.len(), 1);
         assert_eq!(log.proc(1).events.len(), 1);

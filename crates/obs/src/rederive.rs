@@ -1,0 +1,202 @@
+//! Event-derived reconstructions of the engine's Figure 6 / Figure 7
+//! counters, extending the zero-tolerance crosscheck beyond Figure 4.
+//!
+//! [`MissAgg`] rebuilds [`MissStats`] from `miss-resolved`, `false-miss`,
+//! `private-upgrade` and `miss-merged` events; [`MsgAgg`] rebuilds
+//! [`MsgStats`] from `msg-send` events plus the [`SpaceMap`] (message class
+//! follows physical placement exactly as in the network layer, and reply
+//! payloads are whole blocks). Both are streamed at record time, so ring
+//! eviction cannot lose counts, and both offer a `crosscheck` that demands
+//! **exact** equality against the engine's own counters.
+
+use shasta_stats::{Hops, MissKind, MissStats, MsgClass, MsgStats};
+
+use crate::event::EventKind;
+use crate::profile::SpaceMap;
+
+/// Streaming reconstruction of [`MissStats`] from the event stream.
+#[derive(Clone, Debug, Default)]
+pub struct MissAgg {
+    stats: MissStats,
+}
+
+impl MissAgg {
+    /// Feeds one event.
+    pub fn observe(&mut self, kind: &EventKind) {
+        match *kind {
+            EventKind::MissResolved { kind, hops, .. } => self.stats.record(kind, hops),
+            EventKind::FalseMiss { .. } => self.stats.false_misses += 1,
+            EventKind::PrivateUpgrade { .. } => self.stats.private_upgrades += 1,
+            EventKind::MissMerged { .. } => self.stats.merged += 1,
+            _ => {}
+        }
+    }
+
+    /// The rederived counters.
+    pub fn stats(&self) -> &MissStats {
+        &self.stats
+    }
+
+    /// Compares the event-derived counters against the engine's, demanding
+    /// exact equality in every Figure 6 cell and every auxiliary counter.
+    pub fn crosscheck(&self, engine: &MissStats) -> Result<(), String> {
+        for kind in MissKind::ALL {
+            for hops in Hops::ALL {
+                let (e, d) = (engine.get(kind, hops), self.stats.get(kind, hops));
+                if e != d {
+                    return Err(format!(
+                        "{} {} misses: engine {e}, events {d}",
+                        kind.label(),
+                        hops.label()
+                    ));
+                }
+            }
+        }
+        for (name, e, d) in [
+            ("false misses", engine.false_misses, self.stats.false_misses),
+            ("private upgrades", engine.private_upgrades, self.stats.private_upgrades),
+            ("merged misses", engine.merged, self.stats.merged),
+        ] {
+            if e != d {
+                return Err(format!("{name}: engine {e}, events {d}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Streaming reconstruction of [`MsgStats`] from `msg-send` events.
+///
+/// The engine emits exactly one `msg-send` per network send (same-processor
+/// posts are plain function calls on both paths), so parity is 1:1. The
+/// class is rederived from placement: `downgrade` messages are the
+/// downgrade class, everything else is local or remote by whether sender
+/// and destination share a physical node. Reply payloads (`read-reply`,
+/// `write-reply`) carry a whole coherence block; every other message has no
+/// data payload.
+#[derive(Clone, Debug, Default)]
+pub struct MsgAgg {
+    map: SpaceMap,
+    stats: MsgStats,
+}
+
+impl MsgAgg {
+    /// An aggregator classifying against the given space snapshot.
+    pub fn new(map: SpaceMap) -> Self {
+        MsgAgg { map, stats: MsgStats::default() }
+    }
+
+    /// Feeds one event recorded on processor `p`.
+    pub fn observe(&mut self, p: u32, kind: &EventKind) {
+        if let EventKind::MsgSend { msg, peer, block } = *kind {
+            let class = if msg == "downgrade" {
+                MsgClass::Downgrade
+            } else if self.map.same_phys(p, peer) {
+                MsgClass::Local
+            } else {
+                MsgClass::Remote
+            };
+            let payload = if msg == "read-reply" || msg == "write-reply" {
+                self.map.block_bytes_of(block).unwrap_or(0)
+            } else {
+                0
+            };
+            self.stats.record(class, payload);
+        }
+    }
+
+    /// The rederived counters.
+    pub fn stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
+    /// Compares the event-derived counters against the engine's, demanding
+    /// exact equality in every Figure 7 count and payload-byte total.
+    pub fn crosscheck(&self, engine: &MsgStats) -> Result<(), String> {
+        for class in MsgClass::ALL {
+            let (e, d) = (engine.count(class), self.stats.count(class));
+            if e != d {
+                return Err(format!("{} messages: engine {e}, events {d}", class.label()));
+            }
+            let (e, d) = (engine.payload_bytes(class), self.stats.payload_bytes(class));
+            if e != d {
+                return Err(format!("{} payload bytes: engine {e}, events {d}", class.label()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AllocSite;
+
+    #[test]
+    fn miss_agg_rebuilds_every_counter() {
+        let mut agg = MissAgg::default();
+        agg.observe(&EventKind::MissResolved {
+            block: 0x1000,
+            kind: MissKind::Read,
+            hops: Hops::Two,
+        });
+        agg.observe(&EventKind::MissResolved {
+            block: 0x1000,
+            kind: MissKind::Upgrade,
+            hops: Hops::Three,
+        });
+        agg.observe(&EventKind::FalseMiss { block: 0x1000 });
+        agg.observe(&EventKind::PrivateUpgrade { block: 0x1000 });
+        agg.observe(&EventKind::MissMerged { block: 0x1000 });
+        agg.observe(&EventKind::PollDrain { handled: 1 }); // ignored
+
+        let mut want = MissStats::default();
+        want.record(MissKind::Read, Hops::Two);
+        want.record(MissKind::Upgrade, Hops::Three);
+        want.false_misses = 1;
+        want.private_upgrades = 1;
+        want.merged = 1;
+        assert!(agg.crosscheck(&want).is_ok());
+
+        want.record(MissKind::Write, Hops::Two);
+        let err = agg.crosscheck(&want).unwrap_err();
+        assert!(err.contains("write 2-hop"), "{err}");
+    }
+
+    #[test]
+    fn msg_agg_classifies_by_placement_and_block_payload() {
+        let map = SpaceMap {
+            line_bytes: 64,
+            proc_phys_node: vec![0, 0, 1, 1],
+            allocs: vec![AllocSite { start: 0x1000, len: 1_024, block_bytes: 256, label: "a" }],
+        };
+        let mut agg = MsgAgg::new(map);
+        // Remote request (node 0 -> node 1), no payload.
+        agg.observe(0, &EventKind::MsgSend { msg: "read-req", peer: 2, block: 0x1000 });
+        // Remote reply carries a whole 256 B block.
+        agg.observe(2, &EventKind::MsgSend { msg: "read-reply", peer: 0, block: 0x1000 });
+        // Local (same node) reply.
+        agg.observe(0, &EventKind::MsgSend { msg: "write-reply", peer: 1, block: 0x1100 });
+        // Downgrade class wins over placement.
+        agg.observe(0, &EventKind::MsgSend { msg: "downgrade", peer: 1, block: 0x1000 });
+
+        let mut want = MsgStats::default();
+        want.record(MsgClass::Remote, 0);
+        want.record(MsgClass::Remote, 256);
+        want.record(MsgClass::Local, 256);
+        want.record(MsgClass::Downgrade, 0);
+        assert!(agg.crosscheck(&want).is_ok());
+
+        want.record(MsgClass::Local, 0);
+        assert!(agg.crosscheck(&want).is_err());
+    }
+
+    #[test]
+    fn sync_messages_have_no_payload() {
+        let map = SpaceMap { line_bytes: 64, proc_phys_node: vec![0, 1], allocs: Vec::new() };
+        let mut agg = MsgAgg::new(map);
+        agg.observe(0, &EventKind::MsgSend { msg: "barrier-arrive", peer: 1, block: 0 });
+        assert_eq!(agg.stats().count(MsgClass::Remote), 1);
+        assert_eq!(agg.stats().payload_bytes(MsgClass::Remote), 0);
+    }
+}

@@ -25,4 +25,4 @@ pub use counters::{
     Breakdown, CheckStats, DowngradeHist, Hops, MissKind, MissStats, MsgClass, MsgStats, RunStats,
     TimeCat,
 };
-pub use report::Table;
+pub use report::{advisor_table, AdvisorRow, Table};

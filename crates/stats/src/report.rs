@@ -113,6 +113,50 @@ pub fn speedup(seq_cycles: u64, par_cycles: u64) -> String {
     }
 }
 
+/// One allocation site's row in the granularity-advisor table (the
+/// paper-style companion to Table 2's per-application block-size hints).
+///
+/// The profiler in `shasta-obs` rolls per-block sharing histories up to the
+/// `malloc` site; this struct is the plain-data form the report layer
+/// renders, keeping `shasta-stats` free of any dependency on the profiler.
+#[derive(Clone, Debug)]
+pub struct AdvisorRow {
+    /// The allocation's site label (e.g. `"lu.matrix"`).
+    pub label: String,
+    /// Configured coherence-block size in bytes.
+    pub block_bytes: u64,
+    /// Blocks of the allocation that saw any protocol activity.
+    pub blocks_touched: u64,
+    /// Dominant sharing pattern label (e.g. `"false-shared"`).
+    pub pattern: String,
+    /// Read misses attributed to the site.
+    pub read_misses: u64,
+    /// Write (and upgrade) misses attributed to the site.
+    pub write_misses: u64,
+    /// Advisor verdict (e.g. `"split to 64 B"` or `"keep"`).
+    pub recommendation: String,
+}
+
+/// Renders advisor rows as an aligned table:
+///
+/// `site  block B  blocks  pattern  rd-miss  wr-miss  advice`.
+pub fn advisor_table(rows: &[AdvisorRow]) -> Table {
+    let mut t =
+        Table::new(vec!["site", "block B", "blocks", "pattern", "rd-miss", "wr-miss", "advice"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            r.block_bytes.to_string(),
+            r.blocks_touched.to_string(),
+            r.pattern.clone(),
+            r.read_misses.to_string(),
+            r.write_misses.to_string(),
+            r.recommendation.clone(),
+        ]);
+    }
+    t
+}
+
 /// Renders a normalized stacked bar as `label: total% [seg1 seg2 …]`, the
 /// textual analogue of one bar in Figures 4–7.
 pub fn stacked_bar(label: &str, segments: &[(&str, f64)]) -> String {
@@ -165,6 +209,24 @@ mod tests {
         assert_eq!(cycles_as_secs(300_000_000, 300), "1.00s");
         assert_eq!(speedup(100, 25), "4.00");
         assert_eq!(speedup(100, 0), "inf");
+    }
+
+    #[test]
+    fn advisor_table_renders_rows() {
+        let rows = vec![AdvisorRow {
+            label: "lu.matrix".into(),
+            block_bytes: 256,
+            blocks_touched: 12,
+            pattern: "false-shared".into(),
+            read_misses: 40,
+            write_misses: 80,
+            recommendation: "split to 64 B".into(),
+        }];
+        let s = advisor_table(&rows).to_string();
+        assert!(s.contains("lu.matrix"));
+        assert!(s.contains("false-shared"));
+        assert!(s.contains("split to 64 B"));
+        assert_eq!(s.lines().count(), 3);
     }
 
     #[test]

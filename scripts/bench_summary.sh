@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Tabulates every BENCH_*.json artifact at the repo root into one terminal
+# summary: the obs-overhead trajectory (one line per recorded run), the
+# sharing-advisor closed loop, and a generic scalar dump for any future
+# artifact. Read-only; uses only the Python standard library.
+#
+# Usage: scripts/bench_summary.sh          (from anywhere; cd's to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ ${#files[@]} -eq 0 ]; then
+  echo "no BENCH_*.json artifacts at the repo root; run the bench binaries first"
+  echo "(obs_overhead, sharing_profile, ...)"
+  exit 0
+fi
+
+python3 - "${files[@]}" <<'PY'
+import json
+import sys
+
+
+def rule(title):
+    print(f"\n== {title} " + "=" * max(0, 66 - len(title)))
+
+
+def obs_overhead(doc):
+    runs = doc.get("runs")
+    if runs is None:  # legacy single-run file
+        runs = [doc]
+    print(f"{len(runs)} recorded run(s); per run: max recording overhead / cycle check")
+    for i, run in enumerate(runs, 1):
+        cfg = run.get("config", {})
+        summ = run.get("summary", {})
+        ident = summ.get("simulated_cycles_identical")
+        print(
+            f"  run #{i}: preset={cfg.get('preset', '?')} procs={cfg.get('procs', '?')} "
+            f"reps={cfg.get('reps', '?')} "
+            f"max_overhead={summ.get('max_recording_overhead_pct', '?')}% "
+            f"cycles_identical={ident}"
+        )
+    last = runs[-1].get("apps", [])
+    if last:
+        print("  latest run, per app:")
+        w = max(len(a.get("name", "?")) for a in last)
+        for a in last:
+            print(
+                f"    {a.get('name', '?'):<{w}}  {a.get('proto', '?'):<7} "
+                f"wall {a.get('wall_ms_off', 0):7.2f} -> {a.get('wall_ms_on', 0):7.2f} ms "
+                f"({a.get('recording_overhead_pct', 0):+6.2f}%)  "
+                f"{a.get('events', 0):>9} events"
+            )
+
+
+def site_lines(sites):
+    for s in sites:
+        print(
+            f"    {s.get('label', '?'):<14} {s.get('block_bytes', 0):>5} B x "
+            f"{s.get('blocks_touched', 0):>4} blocks  {s.get('pattern', '?'):<13} "
+            f"rd/wr miss {s.get('read_misses', 0)}/{s.get('write_misses', 0)}  "
+            f"-> {s.get('recommendation', '?')}"
+        )
+
+
+def sharing_advisor(doc):
+    cfg = doc.get("config", {})
+    print(f"preset={cfg.get('preset', '?')} proto={cfg.get('proto', '?')} procs={cfg.get('procs', '?')}")
+    k = doc.get("kernel", {})
+    print(
+        f"  kernel {k.get('name', '?')}: {k.get('cycles_base', '?')} cycles; "
+        f"Table 2 hints -> {k.get('cycles_table2_hints', '?')} "
+        f"({k.get('cycle_delta_pct', 0):+.2f}%)"
+    )
+    site_lines(k.get("sites", []))
+    s = doc.get("synthetic", {})
+    print(
+        f"  synthetic: {s.get('blocks_false_shared', '?')} false-shared "
+        f"{s.get('block_bytes', '?')} B blocks; advisor hint {s.get('recommended_bytes', '?')} B "
+        f"-> {s.get('cycles_base', '?')} -> {s.get('cycles_with_hint', '?')} cycles "
+        f"({s.get('cycle_delta_pct', 0):+.2f}%)"
+    )
+    site_lines(s.get("sites", []))
+
+
+def generic(doc):
+    def scalars(prefix, obj):
+        for key, val in obj.items():
+            if isinstance(val, dict):
+                scalars(f"{prefix}{key}.", val)
+            elif isinstance(val, (int, float, str, bool)):
+                print(f"  {prefix}{key} = {val}")
+            elif isinstance(val, list):
+                print(f"  {prefix}{key} = [{len(val)} entries]")
+
+    scalars("", doc)
+
+
+for path in sys.argv[1:]:
+    rule(path)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"  unreadable: {err}")
+        continue
+    if path == "BENCH_obs_overhead.json":
+        obs_overhead(doc)
+    elif path == "BENCH_sharing_advisor.json":
+        sharing_advisor(doc)
+    else:
+        generic(doc)
+print()
+PY

@@ -32,6 +32,16 @@ cargo run --release -p shasta-bench --bin fig4_breakdown -- \
 test -s "$trace_tmp" || { echo "trace export is empty"; exit 1; }
 rm -f "$trace_tmp"
 
+echo "==> sharing-profiler smoke (tiny preset; asserts the closed advisor loop)"
+# The binary itself aborts unless the synthetic false-sharing workload is
+# classified false-shared, the advisor recommends a smaller block, and the
+# re-run with that hint reduces simulated cycles.
+advisor_tmp="$(mktemp /tmp/shasta-ci-advisor.XXXXXX.json)"
+cargo run --release -p shasta-bench --bin sharing_profile -- \
+  --preset tiny --out "$advisor_tmp" > /dev/null
+test -s "$advisor_tmp" || { echo "advisor JSON is empty"; exit 1; }
+rm -f "$advisor_tmp"
+
 echo "==> bounded schedule sweep (64 seeds, oracle validation included)"
 # 64 seeds x 5 scenarios x 2 policies = 640 schedules, plus the sweep
 # against both injected-bug variants; completes in seconds in release mode
