@@ -6,9 +6,16 @@
 //! and from the `msg-send` event stream (`shasta_obs::MsgAgg`, classifying
 //! by physical placement from the space snapshot). Counts *and* payload
 //! bytes must agree **exactly**, or the binary aborts.
+//!
+//! `-j`/`--jobs` fans the independent (procs, app) blocks across worker
+//! threads (0 = one per CPU; default honors `SHASTA_CHECK_JOBS`, else
+//! serial). Each block's bars come from deterministic simulated counters,
+//! and blocks are printed in sweep order, so the output is byte-identical
+//! for any worker count.
 
-use shasta_apps::{registry, Proto};
-use shasta_bench::{preset_from_args, run_observed};
+use shasta_apps::{registry, AppSpec, Preset, Proto};
+use shasta_bench::{jobs_from_args, preset_from_args, run_observed};
+use shasta_check::par_map;
 use shasta_stats::{MsgClass, RunStats};
 
 fn bar(label: &str, st: &RunStats, norm: u64) -> String {
@@ -27,22 +34,32 @@ fn crosscheck(name: &str, label: &str, st: &RunStats, log: &shasta_obs::EventLog
         .unwrap_or_else(|e| panic!("{name} {label}: event/counter divergence: {e}"));
 }
 
+/// One application's block at one processor count: the Base bar plus the
+/// clustering-2 and clustering-4 SMP bars, crosschecked and rendered.
+fn block(spec: &AppSpec, preset: Preset, procs: u32) -> String {
+    let mut out = format!("{}:\n", spec.name);
+    let (base, log) = run_observed(spec, preset, Proto::Base, procs, 1, false);
+    crosscheck(spec.name, "B", &base, &log);
+    let norm = base.messages.total().max(1);
+    out.push_str(&format!("  {}\n", bar("B", &base, norm)));
+    for clustering in [2u32, 4] {
+        let (st, log) = run_observed(spec, preset, Proto::Smp, procs, clustering, false);
+        crosscheck(spec.name, &format!("C{clustering}"), &st, &log);
+        out.push_str(&format!("  {}\n", bar(&format!("C{clustering}"), &st, norm)));
+    }
+    out
+}
+
 fn main() {
     let preset = preset_from_args();
+    let jobs = jobs_from_args();
     println!("Figure 7: messages by class, normalized to Base-Shasta ({preset:?} inputs)\n");
+    let apps = registry();
     for procs in [8u32, 16] {
         println!("=== {procs}-processor runs ===");
-        for spec in registry() {
-            println!("{}:", spec.name);
-            let (base, log) = run_observed(&spec, preset, Proto::Base, procs, 1, false);
-            crosscheck(spec.name, "B", &base, &log);
-            let norm = base.messages.total().max(1);
-            println!("  {}", bar("B", &base, norm));
-            for clustering in [2u32, 4] {
-                let (st, log) = run_observed(&spec, preset, Proto::Smp, procs, clustering, false);
-                crosscheck(spec.name, &format!("C{clustering}"), &st, &log);
-                println!("  {}", bar(&format!("C{clustering}"), &st, norm));
-            }
+        let blocks = par_map(apps.len(), jobs, |i| block(&apps[i], preset, procs));
+        for b in blocks {
+            print!("{b}");
         }
         println!();
     }

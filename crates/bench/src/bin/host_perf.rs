@@ -1,0 +1,168 @@
+//! Host-performance benchmark: tracks the wall-clock cost of the two
+//! hottest host-side paths — the checker's schedule sweep and recorded
+//! application runs — and appends a run to the `BENCH_host_perf.json`
+//! trajectory so `scripts/perf_gate.sh` can fail CI on regressions.
+//!
+//! Two measurements per invocation:
+//!
+//! 1. **Sweep**: the default scenario matrix swept serially (`-j 1`) and
+//!    with the worker pool (`-j N`), best-of-`--reps` wall time each. The
+//!    rendered reports must be byte-identical — the parallel sweep's
+//!    determinism contract — or the binary aborts. The speedup is reported
+//!    honestly: on a single-CPU host it hovers near (or slightly below)
+//!    1.0, which is expected and documented in `docs/PERFORMANCE.md`.
+//! 2. **Recording**: LU and Volrend under clustered SMP-Shasta
+//!    (8 processors, clustering 4) with event recording off and on,
+//!    best-of-`--reps` wall time each, yielding the recording overhead in
+//!    percent.
+//!
+//! The gate metric is `summary.total_wall_ms` — the *serial* sweep wall
+//! time plus the recording-off application walls — i.e. the engine + checker
+//! hot path with no parallelism and no recording, so the regression gate
+//! measures single-thread engine cost rather than host core count.
+//!
+//! ```text
+//! host_perf [--preset tiny|default|large] [--seeds N] [-j N] [--reps N]
+//!           [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` is the CI smoke configuration: 12 seeds, 1 rep, tiny preset
+//! (unless `--preset` is given explicitly).
+
+use std::time::Instant;
+
+use shasta_apps::{registry, Preset, Proto};
+use shasta_bench::{preset_from_args, run, run_observed, trajectory};
+use shasta_check::{default_scenarios, resolve_jobs, sweep_jobs};
+use shasta_core::BugInjection;
+
+const PROCS: u32 = 8;
+const CLUSTERING: u32 = 4;
+/// The recording-cost probes: one regular kernel (LU) and the app with the
+/// paper's largest miss traffic relative to runtime (Volrend).
+const RECORDED_APPS: [&str; 2] = ["LU", "Volrend"];
+
+struct RecRow {
+    name: &'static str,
+    wall_off_ms: f64,
+    wall_on_ms: f64,
+}
+
+impl RecRow {
+    fn overhead_pct(&self) -> f64 {
+        (self.wall_on_ms / self.wall_off_ms - 1.0) * 100.0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut preset = preset_from_args();
+    if quick && !args.iter().any(|a| a == "--preset") && std::env::var("SHASTA_PRESET").is_err() {
+        preset = Preset::Tiny;
+    }
+    let mut seeds: u64 = flag("--seeds").and_then(|v| v.parse().ok()).unwrap_or(170);
+    let mut reps: u32 = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+    if quick {
+        seeds = flag("--seeds").and_then(|v| v.parse().ok()).unwrap_or(12);
+        reps = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(1);
+    }
+    // 0 = one worker per CPU; absent defaults to auto (this binary exists to
+    // measure the pool, so "as parallel as the host allows" is the point).
+    let jobs = resolve_jobs(Some(
+        flag("-j").or_else(|| flag("--jobs")).and_then(|v| v.parse().ok()).unwrap_or(0),
+    ))
+    .max(2);
+    let out = flag("--out").unwrap_or_else(|| "BENCH_host_perf.json".to_string());
+
+    // --- Measurement 1: serial vs parallel schedule sweep. ---
+    let scenarios = default_scenarios();
+    let mut wall_serial = f64::INFINITY;
+    let mut wall_parallel = f64::INFINITY;
+    let mut serial_render = String::new();
+    let mut parallel_render = String::new();
+    let mut schedules = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let serial = sweep_jobs(&scenarios, 0..seeds, BugInjection::None, 8, 1);
+        wall_serial = wall_serial.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let parallel = sweep_jobs(&scenarios, 0..seeds, BugInjection::None, 8, jobs);
+        wall_parallel = wall_parallel.min(t.elapsed().as_secs_f64() * 1e3);
+        schedules = serial.runs;
+        serial_render = serial.render();
+        parallel_render = parallel.render();
+    }
+    let identical = serial_render == parallel_render;
+    let sweep_speedup = wall_serial / wall_parallel;
+    println!(
+        "sweep    {schedules} schedules: serial {wall_serial:.1}ms, -j {jobs} {wall_parallel:.1}ms \
+         (speedup {sweep_speedup:.2}x, reports {})",
+        if identical { "identical" } else { "DIVERGED" },
+    );
+
+    // --- Measurement 2: recording cost on LU and Volrend. ---
+    let mut rec = Vec::new();
+    for name in RECORDED_APPS {
+        let spec = registry()
+            .into_iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("{name} missing from the app registry"));
+        let mut wall_off = f64::INFINITY;
+        let mut wall_on = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            run(&spec, preset, Proto::Smp, PROCS, CLUSTERING, false);
+            wall_off = wall_off.min(t.elapsed().as_secs_f64() * 1e3);
+            let t = Instant::now();
+            run_observed(&spec, preset, Proto::Smp, PROCS, CLUSTERING, false);
+            wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        let row = RecRow { name: spec.name, wall_off_ms: wall_off, wall_on_ms: wall_on };
+        println!(
+            "record   {:<8} wall {:.1}ms -> {:.1}ms ({:+.1}%)",
+            row.name,
+            row.wall_off_ms,
+            row.wall_on_ms,
+            row.overhead_pct(),
+        );
+        rec.push(row);
+    }
+
+    let max_rec_pct = rec.iter().map(RecRow::overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+    let total_wall_ms = wall_serial + rec.iter().map(|r| r.wall_off_ms).sum::<f64>();
+
+    let mut entry = String::from("    {\n");
+    entry.push_str(&format!(
+        "      \"config\": {{\"preset\": \"{preset:?}\", \"seeds\": {seeds}, \"jobs\": {jobs}, \"reps\": {reps}, \"unix_time\": {}}},\n",
+        trajectory::unix_stamp()
+    ));
+    entry.push_str(&format!(
+        "      \"sweep\": {{\"schedules\": {schedules}, \"wall_ms_serial\": {wall_serial:.2}, \"wall_ms_parallel\": {wall_parallel:.2}, \"speedup\": {sweep_speedup:.3}, \"reports_identical\": {identical}}},\n"
+    ));
+    entry.push_str("      \"recording\": [\n");
+    for (i, r) in rec.iter().enumerate() {
+        entry.push_str(&format!(
+            "        {{\"name\": \"{}\", \"wall_ms_off\": {:.2}, \"wall_ms_on\": {:.2}, \"overhead_pct\": {:.2}}}{}\n",
+            r.name,
+            r.wall_off_ms,
+            r.wall_on_ms,
+            r.overhead_pct(),
+            if i + 1 < rec.len() { "," } else { "" },
+        ));
+    }
+    entry.push_str("      ],\n");
+    entry.push_str(&format!(
+        "      \"summary\": {{\"sweep_speedup\": {sweep_speedup:.3}, \"max_recording_overhead_pct\": {max_rec_pct:.2}, \"total_wall_ms\": {total_wall_ms:.2}}}\n"
+    ));
+    entry.push_str("    }");
+
+    let appended = trajectory::append(&out, "sweep", entry);
+    println!(
+        "\nsweep speedup {sweep_speedup:.2}x at -j {jobs}; max recording overhead {max_rec_pct:.1}%; \
+         gate metric total_wall_ms {total_wall_ms:.1}\nwrote {out} (trajectory run #{appended})"
+    );
+    assert!(identical, "parallel sweep report must be byte-identical to serial");
+}

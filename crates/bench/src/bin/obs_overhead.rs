@@ -15,14 +15,20 @@
 //! first entry), so overhead regressions are visible across commits.
 //!
 //! ```text
-//! obs_overhead [--preset tiny|default|large] [--reps N] [--out PATH]
+//! obs_overhead [--preset tiny|default|large] [--reps N] [-j N] [--out PATH]
 //! ```
+//!
+//! `-j`/`--jobs` fans the independent (config, app) cells across worker
+//! threads (0 = one per CPU). It defaults to 1 because the cells measure
+//! host wall time: concurrent cells contend for the CPU and inflate each
+//! other's timings. Trajectory entries meant for the regression gate should
+//! be recorded at `-j 1`.
 
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 
-use shasta_apps::Proto;
-use shasta_bench::{apps_for, preset_from_args, run, run_observed};
-use shasta_obs::chrome::{parse, Json};
+use shasta_apps::{AppSpec, Preset, Proto};
+use shasta_bench::{apps_for, preset_from_args, run, run_observed, trajectory};
+use shasta_check::{par_map, resolve_jobs};
 
 const PROCS: u32 = 8;
 
@@ -47,8 +53,7 @@ impl Row {
 
 /// Renders one run object (the trajectory entry this invocation adds).
 fn run_json(preset: &str, reps: u32, rows: &[Row], identical: bool, max_pct: f64) -> String {
-    let stamp =
-        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or_default();
+    let stamp = trajectory::unix_stamp();
     let mut json = String::from("    {\n");
     json.push_str(&format!(
         "      \"config\": {{\"preset\": \"{preset}\", \"procs\": {PROCS}, \"reps\": {reps}, \"unix_time\": {stamp}}},\n"
@@ -76,44 +81,40 @@ fn run_json(preset: &str, reps: u32, rows: &[Row], identical: bool, max_pct: f64
     json
 }
 
-/// Compact re-serialization of a parsed prior run (used when appending to
-/// an existing trajectory; also wraps legacy single-run files).
-fn render(v: &Json) -> String {
-    match v {
-        Json::Null => "null".to_string(),
-        Json::Bool(b) => b.to_string(),
-        Json::Num(n) => {
-            if n.fract() == 0.0 && n.abs() < 9e15 {
-                format!("{}", *n as i64)
-            } else {
-                format!("{n}")
-            }
-        }
-        Json::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
-        Json::Arr(items) => {
-            let inner: Vec<String> = items.iter().map(render).collect();
-            format!("[{}]", inner.join(", "))
-        }
-        Json::Obj(members) => {
-            let inner: Vec<String> =
-                members.iter().map(|(k, v)| format!("\"{k}\": {}", render(v))).collect();
-            format!("{{{}}}", inner.join(", "))
-        }
+/// Measures one (config, app) cell: best-of-`reps` wall time with recording
+/// off and on, plus the (deterministic) simulated cycle counts.
+fn measure(
+    config: &'static str,
+    proto: Proto,
+    clustering: u32,
+    spec: &AppSpec,
+    preset: Preset,
+    reps: u32,
+) -> Row {
+    // Best-of-N wall time filters scheduler noise on the host.
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut cycles_off = 0;
+    let mut cycles_on = 0;
+    let mut events = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        cycles_off = run(spec, preset, proto, PROCS, clustering, false).elapsed_cycles;
+        wall_off = wall_off.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let (stats, log) = run_observed(spec, preset, proto, PROCS, clustering, false);
+        wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
+        cycles_on = stats.elapsed_cycles;
+        events = log.len() + log.dropped() as usize;
     }
-}
-
-/// Prior trajectory entries from `path`: the `"runs"` array if present, a
-/// legacy single-run object wrapped as one entry, or empty.
-fn prior_runs(path: &str) -> Vec<String> {
-    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
-    let Ok(doc) = parse(&text) else {
-        eprintln!("warning: {path} is not valid JSON; starting a fresh trajectory");
-        return Vec::new();
-    };
-    match doc.get("runs").and_then(Json::as_arr) {
-        Some(runs) => runs.iter().map(|r| format!("    {}", render(r))).collect(),
-        None if doc.get("apps").is_some() => vec![format!("    {}", render(&doc))],
-        None => Vec::new(),
+    Row {
+        name: spec.name,
+        config,
+        cycles_off,
+        cycles_on,
+        wall_off_ms: wall_off,
+        wall_on_ms: wall_on,
+        events,
     }
 }
 
@@ -124,59 +125,43 @@ fn main() {
         |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
     let reps: u32 = flag("--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
     let out = flag("--out").unwrap_or_else(|| "BENCH_obs_overhead.json".to_string());
+    // Timing-sensitive: default to one worker even when SHASTA_CHECK_JOBS is
+    // set; parallel cells only for quick interactive looks (`-j 0`).
+    let jobs = match flag("-j").or_else(|| flag("--jobs")).and_then(|v| v.parse().ok()) {
+        Some(n) => resolve_jobs(Some(n)),
+        None => 1,
+    };
 
-    let mut rows = Vec::new();
-    for (config, proto, clustering) in CONFIGS {
-        for spec in apps_for(true, false) {
-            // Best-of-N wall time filters scheduler noise on the host.
-            let mut wall_off = f64::INFINITY;
-            let mut wall_on = f64::INFINITY;
-            let mut cycles_off = 0;
-            let mut cycles_on = 0;
-            let mut events = 0;
-            for _ in 0..reps {
-                let t = Instant::now();
-                cycles_off = run(&spec, preset, proto, PROCS, clustering, false).elapsed_cycles;
-                wall_off = wall_off.min(t.elapsed().as_secs_f64() * 1e3);
-                let t = Instant::now();
-                let (stats, log) = run_observed(&spec, preset, proto, PROCS, clustering, false);
-                wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
-                cycles_on = stats.elapsed_cycles;
-                events = log.len() + log.dropped() as usize;
-            }
-            let row = Row {
-                name: spec.name,
-                config,
-                cycles_off,
-                cycles_on,
-                wall_off_ms: wall_off,
-                wall_on_ms: wall_on,
-                events,
-            };
-            println!(
-                "{:<7} {:<10} cycles off/on {}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%), {} events",
-                row.config,
-                row.name,
-                row.cycles_off,
-                row.cycles_on,
-                if row.cycles_off == row.cycles_on { "identical" } else { "DIVERGED" },
-                row.wall_off_ms,
-                row.wall_on_ms,
-                row.overhead_pct(),
-                row.events,
-            );
-            rows.push(row);
-        }
+    let cells: Vec<(&'static str, Proto, u32, AppSpec)> = CONFIGS
+        .into_iter()
+        .flat_map(|(config, proto, clustering)| {
+            apps_for(true, false).into_iter().map(move |spec| (config, proto, clustering, spec))
+        })
+        .collect();
+    let rows = par_map(cells.len(), jobs, |i| {
+        let (config, proto, clustering, spec) = &cells[i];
+        measure(config, *proto, *clustering, spec, preset, reps)
+    });
+    for row in &rows {
+        println!(
+            "{:<7} {:<10} cycles off/on {}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%), {} events",
+            row.config,
+            row.name,
+            row.cycles_off,
+            row.cycles_on,
+            if row.cycles_off == row.cycles_on { "identical" } else { "DIVERGED" },
+            row.wall_off_ms,
+            row.wall_on_ms,
+            row.overhead_pct(),
+            row.events,
+        );
     }
 
     let identical = rows.iter().all(|r| r.cycles_off == r.cycles_on);
     let max_pct = rows.iter().map(Row::overhead_pct).fold(f64::NEG_INFINITY, f64::max);
 
-    let mut runs = prior_runs(&out);
-    let appended = runs.len() + 1;
-    runs.push(run_json(&format!("{preset:?}"), reps, &rows, identical, max_pct));
-    let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", runs.join(",\n"));
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    let entry = run_json(&format!("{preset:?}"), reps, &rows, identical, max_pct);
+    let appended = trajectory::append(&out, "apps", entry);
     println!(
         "\nsimulated cycles identical: {identical}; max recording overhead {max_pct:.1}%\nwrote {out} (trajectory run #{appended})"
     );

@@ -145,6 +145,93 @@ pub fn preset_from_args() -> Preset {
     }
 }
 
+/// Parses the common `-j`/`--jobs` CLI flag (0 = one worker per CPU) and
+/// resolves it the same way `shasta-check` does: an absent flag falls back
+/// to `SHASTA_CHECK_JOBS`, else serial. Safe for any binary whose printed
+/// output is derived purely from simulated counters — the simulation is
+/// deterministic, so worker count never changes the bytes printed.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let requested = args
+        .iter()
+        .position(|a| a == "-j" || a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    shasta_check::resolve_jobs(requested)
+}
+
+/// Shared plumbing for the append-only `BENCH_*.json` *trajectory* files:
+/// every benchmark invocation appends one run object to the file's `"runs"`
+/// array, so host-performance regressions stay visible across commits (and
+/// `scripts/perf_gate.sh` can gate CI on the last two entries).
+pub mod trajectory {
+    use shasta_obs::chrome::{parse, Json};
+
+    /// Seconds since the Unix epoch, for stamping trajectory entries.
+    pub fn unix_stamp() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or_default()
+    }
+
+    /// Compact re-serialization of a parsed prior run (used when appending
+    /// to an existing trajectory; also wraps legacy single-run files).
+    pub fn render(v: &Json) -> String {
+        match v {
+            Json::Null => "null".to_string(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Json::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+            Json::Obj(members) => {
+                let inner: Vec<String> =
+                    members.iter().map(|(k, v)| format!("\"{k}\": {}", render(v))).collect();
+                format!("{{{}}}", inner.join(", "))
+            }
+        }
+    }
+
+    /// Prior trajectory entries from `path`: the `"runs"` array if present,
+    /// a legacy single-run object (recognized by `legacy_key`) wrapped as
+    /// one entry, or empty.
+    pub fn prior_runs(path: &str, legacy_key: &str) -> Vec<String> {
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        let Ok(doc) = parse(&text) else {
+            eprintln!("warning: {path} is not valid JSON; starting a fresh trajectory");
+            return Vec::new();
+        };
+        match doc.get("runs").and_then(Json::as_arr) {
+            Some(runs) => runs.iter().map(|r| format!("    {}", render(r))).collect(),
+            None if doc.get(legacy_key).is_some() => vec![format!("    {}", render(&doc))],
+            None => Vec::new(),
+        }
+    }
+
+    /// Appends `entry` to the trajectory at `path` (creating it when absent)
+    /// and returns this run's 1-based position in the trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn append(path: &str, legacy_key: &str, entry: String) -> usize {
+        let mut runs = prior_runs(path, legacy_key);
+        runs.push(entry);
+        let json = format!("{{\n  \"runs\": [\n{}\n  ]\n}}\n", runs.join(",\n"));
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        runs.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

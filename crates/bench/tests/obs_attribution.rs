@@ -63,7 +63,7 @@ fn event_kinds_cover_the_protocol_surface() {
     let spec = &registry()[0]; // Barnes: heavy sharing, locks, and barriers.
     let (_, smp) = run_observed(spec, Preset::Tiny, Proto::Smp, 8, 4, false);
     let kinds: std::collections::HashSet<&str> = smp.iter().map(|e| e.kind.name()).collect();
-    for expected in [
+    let mut expected = vec![
         "check-miss",
         "msg-send",
         "msg-recv",
@@ -73,11 +73,23 @@ fn event_kinds_cover_the_protocol_surface() {
         "poll-drain",
         "line-lock-acquire",
         "line-lock-release",
-        "block-state",
         "stall-begin",
         "slice",
-    ] {
+    ];
+    // Per-transition block-state events are compiled out by default; they
+    // only exist under the `obs-block-state` feature (see
+    // docs/OBSERVABILITY.md).
+    if shasta_core::OBS_BLOCK_STATE {
+        expected.push("block-state");
+    }
+    for expected in expected {
         assert!(kinds.contains(expected), "SMP run missing {expected} events; saw {kinds:?}");
+    }
+    if !shasta_core::OBS_BLOCK_STATE {
+        assert!(
+            !kinds.contains("block-state"),
+            "block-state events must be compiled out without the obs-block-state feature"
+        );
     }
     // Base-Shasta has no node mates: downgrades degenerate to local state
     // changes (zero targets, so no acks) and there is no intra-node state

@@ -3,8 +3,12 @@
 //! deliberately broken protocol variants.
 //!
 //! ```text
-//! check [--seeds N] [--skip-validation] [--quiet] [--trace PATH]
+//! check [--seeds N] [-j N] [--skip-validation] [--quiet] [--trace PATH]
 //! ```
+//!
+//! `-j`/`--jobs` fans the independent `(scenario, seed)` runs across worker
+//! threads (0 = one per CPU; default honors `SHASTA_CHECK_JOBS`, else
+//! serial). The report is byte-identical for any worker count.
 //!
 //! `--trace PATH` exports a Chrome `trace_event` JSON timeline (open it in
 //! `chrome://tracing` or Perfetto): of the first counterexample's replay
@@ -17,7 +21,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use shasta_check::{default_scenarios, replay_observed, sweep, validate_oracles};
+use shasta_check::{
+    default_scenarios, replay_observed, resolve_jobs, sweep_jobs, validate_oracles_jobs,
+};
 use shasta_core::BugInjection;
 use shasta_sim::SchedulePolicy;
 
@@ -27,6 +33,7 @@ const TRACE_RING: usize = 16_384;
 
 fn main() -> ExitCode {
     let mut seeds: u64 = 170;
+    let mut jobs: Option<usize> = None;
     let mut validate = true;
     let mut quiet = false;
     let mut only: Option<String> = None;
@@ -41,13 +48,20 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 });
             }
+            "-j" | "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                jobs = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("{a} expects a number (0 = one worker per CPU), got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--skip-validation" => validate = false,
             "--quiet" => quiet = true,
             "--only" => only = Some(args.next().unwrap_or_default()),
             "--trace" => trace = Some(args.next().unwrap_or_default()),
             "--help" | "-h" => {
                 println!(
-                    "usage: check [--seeds N] [--only NAME-SUBSTR] [--skip-validation] [--quiet] [--trace PATH]"
+                    "usage: check [--seeds N] [-j N] [--only NAME-SUBSTR] [--skip-validation] [--quiet] [--trace PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -66,15 +80,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    let workers = resolve_jobs(jobs);
     let start = Instant::now();
-    let report = sweep(&scenarios, 0..seeds, BugInjection::None, 8);
+    let report = sweep_jobs(&scenarios, 0..seeds, BugInjection::None, 8, workers);
     let elapsed = start.elapsed();
     if !quiet {
         println!(
-            "swept {} schedules ({} seeds x {} scenarios x 2 policies) in {:.1?}",
+            "swept {} schedules ({} seeds x {} scenarios x 2 policies, {} worker{}) in {:.1?}",
             report.runs,
             seeds,
             scenarios.len(),
+            workers,
+            if workers == 1 { "" } else { "s" },
             elapsed
         );
     }
@@ -109,7 +126,7 @@ fn main() -> ExitCode {
     }
 
     if validate {
-        match validate_oracles(&scenarios, seeds.max(8)) {
+        match validate_oracles_jobs(&scenarios, seeds.max(8), workers) {
             Ok(caught) => {
                 for cx in &caught {
                     if !quiet {

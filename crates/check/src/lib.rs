@@ -31,13 +31,18 @@
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::Once;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 
 use shasta_cluster::{CostModel, Topology};
 use shasta_core::space::{BlockHint, HomeHint};
 use shasta_core::{BugInjection, Dsm, Machine, Mode, ProtocolConfig};
 use shasta_sim::SchedulePolicy;
 use shasta_stats::RunStats;
+
+pub mod pool;
+
+pub use pool::{par_map, resolve_jobs};
 
 /// Shared-heap size for checker machines (small kernels, lots of headroom).
 const HEAP_BYTES: u64 = 1 << 20;
@@ -191,8 +196,24 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// Reusable per-worker state threaded through consecutive checker runs, so
+/// a sweep's inner loop stops re-allocating heap-sized oracle buffers from
+/// scratch on every `(scenario, seed)` pair. Purely a host-side allocation
+/// cache: a fresh [`RunCtx`] and a recycled one produce bit-identical runs.
+#[derive(Debug, Default)]
+pub struct RunCtx {
+    /// Recycled shadow-memory backing store for the coherence oracle.
+    shadow: Option<Vec<u8>>,
+}
+
 /// Builds the machine for a scenario (shared by checked and unchecked runs).
-fn build_machine(s: &Scenario, policy: SchedulePolicy, bug: BugInjection, oracle: bool) -> Machine {
+fn build_machine(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+    oracle: bool,
+    ctx: &mut RunCtx,
+) -> Machine {
     let topo = Topology::new(s.procs, s.per_node, s.clustering)
         .unwrap_or_else(|e| panic!("bad scenario topology {s}: {e}"));
     let cfg = match s.mode {
@@ -203,7 +224,7 @@ fn build_machine(s: &Scenario, policy: SchedulePolicy, bug: BugInjection, oracle
     let mut m = Machine::new(topo, CostModel::alpha_4100(), cfg, HEAP_BYTES);
     m.set_schedule_policy(policy);
     if oracle {
-        m.enable_oracle();
+        m.enable_oracle_with_buffer(ctx.shadow.take().unwrap_or_default());
         m.enable_trace(TRACE_CAPACITY);
         // Liveness budget, generously above any correct run of these sizes.
         m.set_step_limit(100_000 + 50_000 * u64::from(s.procs) * u64::from(s.iters));
@@ -220,7 +241,7 @@ pub fn run_scenario(
     bug: BugInjection,
     oracle: bool,
 ) -> RunStats {
-    run_scenario_inner(s, policy, bug, oracle).0
+    run_scenario_inner(s, policy, bug, oracle, &mut RunCtx::default()).0
 }
 
 /// Like [`run_scenario`] with oracles on, but also returns the rendered
@@ -231,7 +252,7 @@ pub fn run_scenario_traced(
     policy: SchedulePolicy,
     bug: BugInjection,
 ) -> (RunStats, String) {
-    run_scenario_inner(s, policy, bug, true)
+    run_scenario_inner(s, policy, bug, true, &mut RunCtx::default())
 }
 
 fn run_scenario_inner(
@@ -239,11 +260,18 @@ fn run_scenario_inner(
     policy: SchedulePolicy,
     bug: BugInjection,
     oracle: bool,
+    ctx: &mut RunCtx,
 ) -> (RunStats, String) {
-    let mut m = build_machine(s, policy, bug, oracle);
+    let mut m = build_machine(s, policy, bug, oracle, ctx);
     let bodies = plan_kernel(&mut m, s);
     let stats = m.run(bodies);
     let trace = m.render_trace();
+    // Reclaim the oracle's shadow buffer for the next run of this context
+    // (lost on the panic path — the machine unwinds with it — which is fine:
+    // the next run simply allocates afresh).
+    if let Some(buf) = m.take_oracle_buffer() {
+        ctx.shadow = Some(buf);
+    }
     (stats, trace)
 }
 
@@ -260,7 +288,7 @@ pub fn replay_observed(
     ring_capacity: usize,
 ) -> (Result<RunStats, String>, shasta_obs::EventLog) {
     silence_expected_panics();
-    let mut m = build_machine(s, policy, bug, true);
+    let mut m = build_machine(s, policy, bug, true, &mut RunCtx::default());
     m.enable_obs(ring_capacity);
     let bodies = plan_kernel(&mut m, s);
     let res = panic::catch_unwind(AssertUnwindSafe(|| m.run(bodies))).map_err(|payload| {
@@ -397,7 +425,19 @@ pub fn run_checked(
     policy: SchedulePolicy,
     bug: BugInjection,
 ) -> Result<RunStats, Counterexample> {
-    let res = panic::catch_unwind(AssertUnwindSafe(|| run_scenario(s, policy, bug, true)));
+    run_checked_ctx(s, policy, bug, &mut RunCtx::default())
+}
+
+/// [`run_checked`] with a reusable [`RunCtx`], so sweeps recycle the oracle's
+/// shadow buffer across runs instead of re-allocating it each time.
+pub fn run_checked_ctx(
+    s: &Scenario,
+    policy: SchedulePolicy,
+    bug: BugInjection,
+    ctx: &mut RunCtx,
+) -> Result<RunStats, Counterexample> {
+    let res =
+        panic::catch_unwind(AssertUnwindSafe(|| run_scenario_inner(s, policy, bug, true, ctx).0));
     res.map_err(|payload| {
         let message = if let Some(s) = payload.downcast_ref::<String>() {
             s.clone()
@@ -415,12 +455,17 @@ pub fn run_checked(
 /// the smallest failing run (fewer rounds ⇒ a shorter schedule and a
 /// tighter trace tail around the violation).
 pub fn shrink(cx: &Counterexample) -> Counterexample {
+    shrink_ctx(cx, &mut RunCtx::default())
+}
+
+/// [`shrink`] with a reusable [`RunCtx`] for its re-runs.
+pub fn shrink_ctx(cx: &Counterexample, ctx: &mut RunCtx) -> Counterexample {
     let mut best = cx.clone();
     let mut iters = cx.scenario.iters;
     while iters > 1 {
         let half = iters / 2;
         let candidate = Scenario { iters: half, ..cx.scenario };
-        match run_checked(&candidate, cx.policy, cx.bug) {
+        match run_checked_ctx(&candidate, cx.policy, cx.bug, ctx) {
             Err(smaller) => {
                 best = smaller;
                 iters = half;
@@ -440,6 +485,22 @@ pub struct SweepReport {
     pub failures: Vec<Counterexample>,
 }
 
+impl SweepReport {
+    /// Renders the full report — run count plus every counterexample — as
+    /// one string. Byte-equal renders across worker counts are the parallel
+    /// sweep's equivalence witness.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "runs: {}", self.runs);
+        let _ = writeln!(out, "failures: {}", self.failures.len());
+        for cx in &self.failures {
+            let _ = write!(out, "{cx}");
+        }
+        out
+    }
+}
+
 /// Schedule policies explored for one seed.
 pub fn policies_for_seed(seed: u64) -> [SchedulePolicy; 2] {
     [SchedulePolicy::SeededRandom { seed }, SchedulePolicy::Chains { seed, change_interval: 7 }]
@@ -448,28 +509,122 @@ pub fn policies_for_seed(seed: u64) -> [SchedulePolicy; 2] {
 /// Sweeps `seeds` over every scenario with both seeded policies, shrinking
 /// any failure. `max_failures` bounds how many counterexamples are chased
 /// (shrinking re-runs the kernel; one is usually what you want).
+///
+/// Worker count comes from `SHASTA_CHECK_JOBS` (see [`resolve_jobs`]);
+/// unset means serial. Use [`sweep_jobs`] to pass it explicitly.
 pub fn sweep(
     scenarios: &[Scenario],
     seeds: std::ops::Range<u64>,
     bug: BugInjection,
     max_failures: usize,
 ) -> SweepReport {
+    sweep_jobs(scenarios, seeds, bug, max_failures, resolve_jobs(None))
+}
+
+/// The canonical serial enumeration order of a sweep: seed-major, then
+/// scenario, then the two policies of [`policies_for_seed`]. Index `i` maps
+/// to `(seed, scenario, policy)` and every run is a pure function of that
+/// triple.
+fn sweep_run_at(
+    scenarios: &[Scenario],
+    seeds: &std::ops::Range<u64>,
+    idx: usize,
+) -> (Scenario, SchedulePolicy) {
+    let per_seed = scenarios.len() * 2;
+    let seed = seeds.start + (idx / per_seed) as u64;
+    let s = scenarios[(idx % per_seed) / 2];
+    let policy = policies_for_seed(seed)[idx % 2];
+    (s, policy)
+}
+
+/// [`sweep`] with an explicit worker count, fanning the independent
+/// `(scenario, seed, policy)` runs across `jobs` threads.
+///
+/// The report is **byte-identical to the serial sweep's** for any `jobs`:
+///
+/// * every run is a deterministic function of its canonical index (so
+///   failures have fixed identities, not race-dependent ones);
+/// * the serial sweep stops right after the `k`-th failing index `c`
+///   (`k = max_failures`, clamped to 1) — workers therefore maintain
+///   `cutoff`, the `k`-th smallest failing index *discovered so far*, and
+///   skip indices at or beyond it. The `k`-th smallest of a subset of the
+///   true failure set can never undershoot `c`, so `cutoff ≥ c` throughout,
+///   every index `≤ c` is executed, and `cutoff` converges to exactly `c`;
+/// * failures are sorted by canonical index, truncated to `k`, and shrunk
+///   serially in that order (shrinking is itself deterministic), matching
+///   the serial report's content and order; `runs` is recovered as `c + 1`.
+pub fn sweep_jobs(
+    scenarios: &[Scenario],
+    seeds: std::ops::Range<u64>,
+    bug: BugInjection,
+    max_failures: usize,
+    jobs: usize,
+) -> SweepReport {
     silence_expected_panics();
-    let mut report = SweepReport::default();
-    for seed in seeds {
-        for s in scenarios {
-            for policy in policies_for_seed(seed) {
-                report.runs += 1;
-                if let Err(cx) = run_checked(s, policy, bug) {
-                    report.failures.push(shrink(&cx));
-                    if report.failures.len() >= max_failures {
-                        return report;
-                    }
+    // The serial loop returns on the k-th failure even when `max_failures`
+    // is 0 (the check runs after the push), so clamp k to at least 1.
+    let k = max_failures.max(1);
+    // `Range<u64>` has no `len()` (it could overflow usize on 32-bit hosts);
+    // sweep sizes are far below that.
+    let total = (seeds.end.saturating_sub(seeds.start) as usize) * scenarios.len() * 2;
+
+    if jobs <= 1 {
+        let mut report = SweepReport::default();
+        let mut ctx = RunCtx::default();
+        for idx in 0..total {
+            let (s, policy) = sweep_run_at(scenarios, &seeds, idx);
+            report.runs += 1;
+            if let Err(cx) = run_checked_ctx(&s, policy, bug, &mut ctx) {
+                report.failures.push(shrink_ctx(&cx, &mut ctx));
+                if report.failures.len() >= k {
+                    return report;
                 }
             }
         }
+        return report;
     }
-    report
+
+    let next = AtomicUsize::new(0);
+    // One past the last index the sweep still has to execute: lowered to the
+    // k-th smallest discovered failing index as failures come in.
+    let cutoff = AtomicUsize::new(usize::MAX);
+    let found: Mutex<Vec<(usize, Counterexample)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(total) {
+            scope.spawn(|| {
+                let mut ctx = RunCtx::default();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total || idx >= cutoff.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let (s, policy) = sweep_run_at(scenarios, &seeds, idx);
+                    if let Err(cx) = run_checked_ctx(&s, policy, bug, &mut ctx) {
+                        let mut v = found.lock().expect("failure list poisoned");
+                        v.push((idx, cx));
+                        if v.len() >= k {
+                            let mut idxs: Vec<usize> = v.iter().map(|(i, _)| *i).collect();
+                            idxs.sort_unstable();
+                            // Monotone: both sides only shrink over time.
+                            cutoff.fetch_min(idxs[k - 1], Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut failures = found.into_inner().expect("failure list poisoned");
+    failures.sort_unstable_by_key(|(idx, _)| *idx);
+    failures.truncate(k);
+    let runs = if failures.len() >= k {
+        failures.last().expect("k >= 1").0 as u64 + 1
+    } else {
+        total as u64
+    };
+    let mut ctx = RunCtx::default();
+    let failures = failures.into_iter().map(|(_, cx)| shrink_ctx(&cx, &mut ctx)).collect();
+    SweepReport { runs, failures }
 }
 
 /// Validates the oracles end to end: each deliberately broken protocol
@@ -479,9 +634,18 @@ pub fn validate_oracles(
     scenarios: &[Scenario],
     seeds_per_bug: u64,
 ) -> Result<Vec<Counterexample>, String> {
+    validate_oracles_jobs(scenarios, seeds_per_bug, resolve_jobs(None))
+}
+
+/// [`validate_oracles`] with an explicit worker count for its sweeps.
+pub fn validate_oracles_jobs(
+    scenarios: &[Scenario],
+    seeds_per_bug: u64,
+    jobs: usize,
+) -> Result<Vec<Counterexample>, String> {
     let mut caught = Vec::new();
     for bug in [BugInjection::SkipDowngradeWait, BugInjection::DropPrivDowngrade] {
-        let report = sweep(scenarios, 0..seeds_per_bug, bug, 1);
+        let report = sweep_jobs(scenarios, 0..seeds_per_bug, bug, 1, jobs);
         match report.failures.into_iter().next() {
             Some(cx) => caught.push(cx),
             None => {

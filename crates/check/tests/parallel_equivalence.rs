@@ -1,0 +1,36 @@
+//! The parallel sweep's determinism contract: for any worker count the
+//! rendered report — run count, pass/fail per seed, first counterexample's
+//! scenario, seed, and shrunk form — is byte-identical to the serial sweep's.
+
+use shasta_check::{default_scenarios, sweep_jobs};
+use shasta_core::BugInjection;
+
+#[test]
+fn clean_sweep_reports_are_byte_identical_across_worker_counts() {
+    let scenarios = default_scenarios();
+    let serial = sweep_jobs(&scenarios, 0..2, BugInjection::None, 8, 1);
+    let parallel = sweep_jobs(&scenarios, 0..2, BugInjection::None, 8, 4);
+    assert!(serial.failures.is_empty(), "correct protocol must pass");
+    assert_eq!(serial.render(), parallel.render());
+}
+
+#[test]
+fn failing_sweep_reports_are_byte_identical_across_worker_counts() {
+    // Both injected-bug variants of the default bug matrix: the parallel
+    // sweep must stop at the same canonical run index, report the same run
+    // count, and surface the identical (already shrunk) counterexamples.
+    let scenarios = default_scenarios();
+    for bug in [BugInjection::SkipDowngradeWait, BugInjection::DropPrivDowngrade] {
+        let serial = sweep_jobs(&scenarios, 0..8, bug, 2, 1);
+        let parallel = sweep_jobs(&scenarios, 0..8, bug, 2, 4);
+        assert!(
+            !serial.failures.is_empty(),
+            "{bug:?} must be caught within 8 seeds (serial found nothing)"
+        );
+        assert_eq!(
+            serial.render(),
+            parallel.render(),
+            "{bug:?}: parallel report diverged from serial"
+        );
+    }
+}

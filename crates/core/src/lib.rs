@@ -68,3 +68,8 @@ pub mod state;
 
 pub use api::Dsm;
 pub use protocol::{BugInjection, Machine, Mode, ProtocolConfig, SetupCtx};
+
+/// Whether this build records per-transition `block-state` events (the
+/// `obs-block-state` feature). Only the Chrome timeline exporter consumes
+/// them — no streaming aggregate does — so they default to off.
+pub const OBS_BLOCK_STATE: bool = cfg!(feature = "obs-block-state");

@@ -49,7 +49,22 @@ impl Oracle {
     /// Creates an oracle shadowing `heap_bytes` of shared heap (contents
     /// start as zeros, matching `SetupCtx::malloc`).
     pub fn new(heap_bytes: u64) -> Self {
-        Oracle { shadow: vec![0u8; heap_bytes as usize], observed_ops: 0 }
+        Self::with_buffer(heap_bytes, Vec::new())
+    }
+
+    /// Like [`Oracle::new`] but reusing `buf` as the shadow's backing store
+    /// (cleared and re-zeroed). Sweeps that run thousands of schedules
+    /// recycle one buffer instead of allocating a fresh heap image per run;
+    /// reclaim it afterwards with [`Oracle::into_buffer`].
+    pub fn with_buffer(heap_bytes: u64, mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        buf.resize(heap_bytes as usize, 0);
+        Oracle { shadow: buf, observed_ops: 0 }
+    }
+
+    /// Consumes the oracle, returning the shadow's backing buffer for reuse.
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.shadow
     }
 
     /// Mirrors an initialization or committed application write.

@@ -62,6 +62,14 @@ impl Machine {
         // minimal-time entries each iteration (the deterministic default
         // picks the first minimal `(time, proc)`, the historical behavior).
         let mut cands: Vec<(Time, u32, Action)> = Vec::with_capacity(2 * n as usize);
+        // Run-ahead batching is legal only when nothing observes individual
+        // scheduling steps: the deterministic policy always picks the minimal
+        // `(time, proc)` key (so a locally-minimal run of one processor's ops
+        // is exactly what a full rescan would pick), and neither a step limit
+        // nor the oracle's periodic quiescent sweep is consulting the step
+        // counter that batched ops skip.
+        let fast_mode =
+            !self.sched.perturbs() && self.oracle.is_none() && self.step_limit.is_none();
 
         loop {
             cands.clear();
@@ -101,7 +109,8 @@ impl Machine {
                 }
                 self.deadlock_panic(&pool);
             }
-            let (_, p, action) = cands[self.sched.pick(&cands, |c| (c.0, c.1))];
+            let pick = self.sched.pick(&cands, |c| (c.0, c.1));
+            let (_, p, action) = cands[pick];
             if let Some(limit) = self.step_limit {
                 if self.sched.steps() > limit {
                     self.liveness_panic(limit, &pool);
@@ -110,22 +119,43 @@ impl Machine {
 
             match action {
                 Action::Op => {
-                    let req = pool.take_request(p).expect("scheduled op without request");
-                    self.charge(p, TimeCat::Task, req.pre_cycles());
-                    // Inline checks on the accesses inside compute loops.
-                    let surrogate = self.cfg.check.compute_check_cycles(req.pre_cycles());
-                    if surrogate > 0 {
-                        self.charge(p, TimeCat::Task, surrogate);
-                        self.stats.checks.check_cycles += surrogate;
-                    }
-                    self.drain_messages(p);
-                    if let Some(resp) = self.exec_op(p, &req, false) {
-                        pool.resume(p, resp);
+                    if fast_mode {
+                        // Run-ahead: keep servicing `p`'s consecutive ops
+                        // without rescanning while (a) no action touched
+                        // another processor's candidate (`sched_dirty`), and
+                        // (b) `p`'s next op is still strictly earlier than
+                        // every other candidate from the scan. Staleness is
+                        // one-sided — candidates can only *disappear* while
+                        // `sched_dirty` stays false — so `next_best` is a
+                        // conservative bound and early exit is the worst case.
+                        self.sched_dirty = false;
+                        if self.service_op(&mut pool, p) {
+                            let mut next_best: Option<(Time, u32)> = None;
+                            for (j, c) in cands.iter().enumerate() {
+                                if j == pick {
+                                    continue;
+                                }
+                                let k = (c.0, c.1);
+                                if next_best.is_none_or(|nb| k < nb) {
+                                    next_best = Some(k);
+                                }
+                            }
+                            loop {
+                                if self.sched_dirty || pool.is_finished(p) {
+                                    break;
+                                }
+                                let Some(req) = pool.peek_request(p) else { break };
+                                let key = (self.clocks[p as usize] + req.pre_cycles(), p);
+                                if next_best.is_some_and(|nb| key >= nb) {
+                                    break;
+                                }
+                                if !self.service_op(&mut pool, p) {
+                                    break;
+                                }
+                            }
+                        }
                     } else {
-                        debug_assert!(
-                            self.stalls[p as usize].is_some(),
-                            "no response and no stall"
-                        );
+                        self.service_op(&mut pool, p);
                     }
                 }
                 Action::Resume => {
@@ -169,26 +199,41 @@ impl Machine {
         self.stats.clone()
     }
 
+    /// Executes one pending operation of `p` end to end: compute charge,
+    /// inline-check surrogate, poll, execute. Returns `true` if the fiber was
+    /// resumed (its next request is now pending), `false` if it stalled.
+    fn service_op(&mut self, pool: &mut FiberPool<Req, Resp>, p: u32) -> bool {
+        let req = pool.take_request(p).expect("scheduled op without request");
+        self.charge(p, TimeCat::Task, req.pre_cycles());
+        // Inline checks on the accesses inside compute loops.
+        let surrogate = self.cfg.check.compute_check_cycles(req.pre_cycles());
+        if surrogate > 0 {
+            self.charge(p, TimeCat::Task, surrogate);
+            self.stats.checks.check_cycles += surrogate;
+        }
+        self.drain_messages(p);
+        if let Some(resp) = self.exec_op(p, &req, false) {
+            pool.resume(p, resp);
+            true
+        } else {
+            debug_assert!(self.stalls[p as usize].is_some(), "no response and no stall");
+            false
+        }
+    }
+
     /// Handles every message that has arrived at `p` by its current clock
     /// (the poll at an operation boundary / loop back-edge), including the
     /// node's shared incoming queue when load balancing is enabled.
     fn drain_messages(&mut self, p: u32) {
         let mut handled = 0u32;
+        let lb = self.cfg.load_balance_incoming;
         loop {
             let now = self.clocks[p as usize];
-            let own = self.net.peek_arrival(p).filter(|&a| a <= now);
-            let shared = if self.cfg.load_balance_incoming {
-                self.net.peek_vnode_arrival(p).filter(|&a| a <= now)
-            } else {
-                None
-            };
-            let env = match (own, shared) {
-                (Some(a), Some(b)) if b < a => self.net.pop_vnode_earliest(p),
-                (Some(_), _) => self.net.pop_earliest(p),
-                (None, Some(_)) => self.net.pop_vnode_earliest(p),
-                (None, None) => break,
-            };
-            let Some(env) = env else { break };
+            match self.net.peek_any_arrival(p, lb) {
+                Some(a) if a <= now => {}
+                _ => break,
+            }
+            let Some(env) = self.net.pop_any_earliest(p, lb) else { break };
             handled += 1;
             self.obs_event(
                 p,
@@ -202,6 +247,9 @@ impl Machine {
             self.handle_message(p, env.src, env.msg);
         }
         if handled > 0 {
+            // Handling may have satisfied another processor's stall or queued
+            // replies; force the run-ahead fast path back to a full rescan.
+            self.sched_dirty = true;
             self.obs_event(p, shasta_obs::EventKind::PollDrain { handled });
         }
     }
@@ -209,26 +257,12 @@ impl Machine {
     /// Earliest message `p` could handle: its own inbox, plus the node's
     /// shared incoming queue under load balancing.
     fn earliest_inbound(&self, p: u32) -> Option<Time> {
-        let own = self.net.peek_arrival(p);
-        let shared =
-            if self.cfg.load_balance_incoming { self.net.peek_vnode_arrival(p) } else { None };
-        match (own, shared) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        self.net.peek_any_arrival(p, self.cfg.load_balance_incoming)
     }
 
     /// Pops the earliest message `p` can handle (see [`Self::earliest_inbound`]).
     fn pop_inbound(&mut self, p: u32) -> Option<shasta_memchan::Envelope<ProtoMsg>> {
-        let own = self.net.peek_arrival(p);
-        let shared =
-            if self.cfg.load_balance_incoming { self.net.peek_vnode_arrival(p) } else { None };
-        match (own, shared) {
-            (Some(a), Some(b)) if b < a => self.net.pop_vnode_earliest(p),
-            (Some(_), _) => self.net.pop_earliest(p),
-            (None, Some(_)) => self.net.pop_vnode_earliest(p),
-            (None, None) => None,
-        }
+        self.net.pop_any_earliest(p, self.cfg.load_balance_incoming)
     }
 
     /// Advances `p`'s clock by `cycles`; attributes them to `cat` only when
@@ -256,6 +290,7 @@ impl Machine {
     /// Records a stall beginning now.
     fn begin_stall(&mut self, p: u32, kind: StallKind, cat: TimeCat) {
         debug_assert!(self.stalls[p as usize].is_none(), "nested stall");
+        self.sched_dirty = true;
         self.obs_event(p, shasta_obs::EventKind::StallBegin { cat });
         self.stalls[p as usize] = Some(Stall { kind, since: self.clocks[p as usize], cat });
     }
@@ -331,6 +366,9 @@ impl Machine {
     /// Sends a protocol message, or handles it inline when `src == dst`
     /// (a processor "messaging itself" is a function call in Shasta).
     pub(crate) fn post(&mut self, src: u32, dst: u32, msg: ProtoMsg) {
+        // A send (or inline self-handling) can create or satisfy another
+        // processor's candidate; the run-ahead fast path must rescan.
+        self.sched_dirty = true;
         if src == dst {
             // A processor "messaging itself" is a plain function call; no
             // send/receive events are recorded for it.
@@ -754,6 +792,7 @@ impl Machine {
     /// setting the pending state). Costs accrue to `p` (inside its stall
     /// window if it is stalled).
     pub(crate) fn issue_request(&mut self, p: u32, block: Block, kind: ReqKind) {
+        self.sched_dirty = true;
         let v = self.vnode(p);
         let epoch = match kind {
             ReqKind::Read => 0,

@@ -205,6 +205,12 @@ pub struct Machine {
     // ---- checker hooks ----
     /// Schedule policy state (deterministic by default).
     pub(crate) sched: Scheduler,
+    /// Set whenever an action may have changed *another* processor's
+    /// scheduling candidate (a message was sent or handled, a wake floor
+    /// moved, a stall began). The engine's run-ahead fast path services
+    /// consecutive operations of one processor without rescanning only
+    /// while this stays false; see `Machine::run`.
+    pub(crate) sched_dirty: bool,
     /// Coherence oracles (shadow memory + invariants), checker runs only.
     pub(crate) oracle: Option<Box<Oracle>>,
     /// Liveness budget: panic if a run exceeds this many scheduling steps.
@@ -285,6 +291,7 @@ impl Machine {
             trace: Trace::disabled(),
             obs: shasta_obs::Recorder::disabled(),
             sched: Scheduler::default(),
+            sched_dirty: false,
             oracle: None,
             step_limit: None,
             topo,
@@ -311,6 +318,20 @@ impl Machine {
     /// [`Machine::enable_trace`] for usable counterexamples.
     pub fn enable_oracle(&mut self) {
         self.oracle = Some(Box::new(Oracle::new(self.space.heap_bytes())));
+    }
+
+    /// Like [`Machine::enable_oracle`] but reusing `buf` as the shadow
+    /// memory's backing store (cleared and re-zeroed), so checker sweeps
+    /// recycle one heap-sized allocation across thousands of runs. Reclaim
+    /// it afterwards with [`Machine::take_oracle_buffer`].
+    pub fn enable_oracle_with_buffer(&mut self, buf: Vec<u8>) {
+        self.oracle = Some(Box::new(Oracle::with_buffer(self.space.heap_bytes(), buf)));
+    }
+
+    /// Disables the oracle and returns its shadow buffer for reuse (`None`
+    /// if no oracle was enabled).
+    pub fn take_oracle_buffer(&mut self) -> Option<Vec<u8>> {
+        self.oracle.take().map(|o| o.into_buffer())
     }
 
     /// Caps the run at `steps` scheduling steps; exceeding it panics with
@@ -393,13 +414,18 @@ impl Machine {
     }
 
     /// Records a line-state transition of `block` as observed by `p`.
-    /// Compiled out without the `obs` feature.
+    /// Block-state events feed only the Chrome timeline exporter — no
+    /// streaming aggregate reads them — and are the most frequent event
+    /// kind, so they compile out unless the `obs-block-state` feature is on.
     #[inline]
     pub(crate) fn obs_state(&mut self, p: u32, block: Block, s: LineState) {
+        #[cfg(feature = "obs-block-state")]
         self.obs_event(
             p,
             shasta_obs::EventKind::BlockState { block: block.start, state: s.label() },
         );
+        #[cfg(not(feature = "obs-block-state"))]
+        let _ = (p, block, s);
     }
 
     /// Records the per-line SMP lock being taken for `block` (SMP mode
@@ -478,6 +504,7 @@ impl Machine {
 
     /// Sets all lines of `block` on node `v` to `s`.
     pub(crate) fn set_block_state(&mut self, v: usize, block: Block, s: LineState) {
+        self.sched_dirty = true;
         let r = block.line_range(self.space.line_bytes());
         self.mems[v].set_lines_state(r, s);
     }
@@ -496,6 +523,7 @@ impl Machine {
     /// Raises `p`'s wake floor to `t`: if `p` resumes from a stall, it
     /// resumes no earlier than the event that satisfied it.
     pub(crate) fn bump_wake(&mut self, p: u32, t: Time) {
+        self.sched_dirty = true;
         let w = &mut self.wake_floor[p as usize];
         if *w < t {
             *w = t;

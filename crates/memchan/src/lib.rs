@@ -117,8 +117,8 @@ impl<M: Eq> Network<M> {
         Network {
             topo,
             cost,
-            inboxes: (0..procs).map(|_| BinaryHeap::new()).collect(),
-            node_inboxes: (0..vnodes).map(|_| BinaryHeap::new()).collect(),
+            inboxes: (0..procs).map(|_| BinaryHeap::with_capacity(8)).collect(),
+            node_inboxes: (0..vnodes).map(|_| BinaryHeap::with_capacity(8)).collect(),
             link_free: vec![Time::ZERO; nodes],
             stats: MsgStats::default(),
             in_flight: 0,
@@ -175,24 +175,29 @@ impl<M: Eq> Network<M> {
             }
         };
 
-        let arrival = if local {
-            now + self.cost.wire_cycles(true, payload_bytes)
-        } else {
-            // Remote messages serialize on the sender node's MC link: the
-            // link is occupied for the per-byte transmission time.
-            let node = usize::from(self.topo.phys_node_of(src));
-            let depart = self.link_free[node].max(now);
-            let occupancy = self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
-            self.link_free[node] = depart + occupancy;
-            depart + occupancy + self.cost.mc_oneway_cycles
-        };
-
+        let arrival = self.arrival_time(src, local, payload_bytes, now);
         self.stats.record(class, payload_bytes);
         self.seq += 1;
         self.in_flight += 1;
         let env = Envelope { src, dst, arrival, class, payload_bytes, msg, seq: self.seq };
         self.inboxes[dst as usize].push(Queued { key: Reverse((arrival, self.seq)), env });
         arrival
+    }
+
+    /// Arrival time of a message leaving `src` at `now`: shared-memory wire
+    /// cost when intra-node, otherwise Memory Channel link occupancy (remote
+    /// messages serialize on the sender node's MC link for their per-byte
+    /// transmission time) plus one-way latency.
+    fn arrival_time(&mut self, src: u32, local: bool, payload_bytes: u64, now: Time) -> Time {
+        if local {
+            now + self.cost.wire_cycles(true, payload_bytes)
+        } else {
+            let node = usize::from(self.topo.phys_node_of(src));
+            let depart = self.link_free[node].max(now);
+            let occupancy = self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
+            self.link_free[node] = depart + occupancy;
+            depart + occupancy + self.cost.mc_oneway_cycles
+        }
     }
 
     /// Earliest arrival time queued for `dst`, if any.
@@ -242,15 +247,7 @@ impl<M: Eq> Network<M> {
     ) -> Time {
         let local = self.topo.same_phys_node(src, dst);
         let class = if local { MsgClass::Local } else { MsgClass::Remote };
-        let arrival = if local {
-            now + self.cost.wire_cycles(true, payload_bytes)
-        } else {
-            let node = usize::from(self.topo.phys_node_of(src));
-            let depart = self.link_free[node].max(now);
-            let occupancy = self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
-            self.link_free[node] = depart + occupancy;
-            depart + occupancy + self.cost.mc_oneway_cycles
-        };
+        let arrival = self.arrival_time(src, local, payload_bytes, now);
         self.stats.record(class, payload_bytes);
         self.seq += 1;
         self.in_flight += 1;
@@ -282,6 +279,32 @@ impl<M: Eq> Network<M> {
         let q = self.node_inboxes[v].pop()?;
         self.in_flight -= 1;
         Some(q.env)
+    }
+
+    /// Earliest arrival `p` could handle over its own inbox and (when
+    /// `include_vnode`) its virtual node's shared inbox, in one call — the
+    /// engine's per-candidate scan uses this instead of two peeks.
+    pub fn peek_any_arrival(&self, p: u32, include_vnode: bool) -> Option<Time> {
+        let own = self.peek_arrival(p);
+        let shared = if include_vnode { self.peek_vnode_arrival(p) } else { None };
+        match (own, shared) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops the earliest message `p` can handle over its own inbox and (when
+    /// `include_vnode`) the shared virtual-node inbox. The processor's own
+    /// inbox wins arrival ties, matching the engine's historical poll order.
+    pub fn pop_any_earliest(&mut self, p: u32, include_vnode: bool) -> Option<Envelope<M>> {
+        let own = self.peek_arrival(p);
+        let shared = if include_vnode { self.peek_vnode_arrival(p) } else { None };
+        match (own, shared) {
+            (Some(a), Some(b)) if b < a => self.pop_vnode_earliest(p),
+            (Some(_), _) => self.pop_earliest(p),
+            (None, Some(_)) => self.pop_vnode_earliest(p),
+            (None, None) => None,
+        }
     }
 
     /// Number of messages queued but not yet received.

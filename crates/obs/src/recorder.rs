@@ -31,7 +31,12 @@ impl ProcRing {
             self.buf.push(e);
         } else {
             self.buf[self.start] = e;
-            self.start = (self.start + 1) % self.cap;
+            // Wrapping increment without the integer division a `% cap`
+            // would cost on this per-event path.
+            self.start += 1;
+            if self.start == self.cap {
+                self.start = 0;
+            }
             self.dropped += 1;
         }
     }
@@ -55,8 +60,17 @@ pub struct Recorder {
     miss: MissAgg,
     msg: Option<MsgAgg>,
     profile: Option<ProfileAgg>,
+    /// Events staged in global record order and replayed through the
+    /// aggregators in batches (see [`Recorder::flush`]). Global order is
+    /// load-bearing: the sharing profiler's transitions depend on the
+    /// cross-processor interleaving of events, so staging must not reorder.
+    staged: Vec<Event>,
     enabled: bool,
 }
+
+/// Staged events are flushed through the aggregators once this many have
+/// accumulated (or earlier, at every poll-drain boundary).
+const STAGE_CAPACITY: usize = 1024;
 
 impl Recorder {
     /// A recorder that ignores every event (the engine's default).
@@ -73,6 +87,7 @@ impl Recorder {
             miss: MissAgg::default(),
             msg: None,
             profile: None,
+            staged: Vec::with_capacity(STAGE_CAPACITY),
             enabled: true,
         }
     }
@@ -93,25 +108,47 @@ impl Recorder {
 
     /// Records `kind` happening on processor `p` at simulated cycle `t`.
     /// No-op (one branch) when the recorder is disabled.
+    ///
+    /// The hot path is a single bounds-checked push: events stage into a
+    /// batch and replay through the aggregators and rings at poll-drain
+    /// boundaries (or when the batch fills), amortizing the aggregators'
+    /// dispatch over many events while preserving exact record order.
     pub fn record(&mut self, t: u64, p: u32, kind: EventKind) {
         if !self.enabled {
             return;
         }
-        if let EventKind::Slice { cat, cycles } = kind {
-            self.agg.observe_slice(p, t, cat, cycles);
+        let flush_now = matches!(kind, EventKind::PollDrain { .. });
+        self.staged.push(Event { t, proc: p, kind });
+        if flush_now || self.staged.len() >= STAGE_CAPACITY {
+            self.flush();
         }
-        self.miss.observe(&kind);
-        if let Some(msg) = &mut self.msg {
-            msg.observe(p, &kind);
+    }
+
+    /// Replays the staged batch — in global record order — through the
+    /// streaming aggregators and the per-processor rings.
+    fn flush(&mut self) {
+        let staged = std::mem::take(&mut self.staged);
+        for e in &staged {
+            if let EventKind::Slice { cat, cycles } = e.kind {
+                self.agg.observe_slice(e.proc, e.t, cat, cycles);
+            }
+            self.miss.observe(&e.kind);
+            if let Some(msg) = &mut self.msg {
+                msg.observe(e.proc, &e.kind);
+            }
+            if let Some(profile) = &mut self.profile {
+                profile.observe(e.proc, &e.kind);
+            }
+            self.rings[e.proc as usize].push(*e);
         }
-        if let Some(profile) = &mut self.profile {
-            profile.observe(p, &kind);
-        }
-        self.rings[p as usize].push(Event { t, proc: p, kind });
+        // Keep the allocation for the next batch.
+        self.staged = staged;
+        self.staged.clear();
     }
 
     /// Consumes the recorder into the immutable log handed to exporters.
-    pub fn into_log(self) -> EventLog {
+    pub fn into_log(mut self) -> EventLog {
+        self.flush();
         EventLog {
             procs: self
                 .rings

@@ -53,6 +53,34 @@ def obs_overhead(doc):
             )
 
 
+def host_perf(doc):
+    runs = doc.get("runs")
+    if runs is None:  # tolerate a hand-made single-run file
+        runs = [doc]
+    print(f"{len(runs)} recorded run(s); per run: sweep speedup / gate metric")
+    for i, run in enumerate(runs, 1):
+        cfg = run.get("config", {})
+        sw = run.get("sweep", {})
+        summ = run.get("summary", {})
+        print(
+            f"  run #{i}: preset={cfg.get('preset', '?')} seeds={cfg.get('seeds', '?')} "
+            f"jobs={cfg.get('jobs', '?')} reps={cfg.get('reps', '?')} "
+            f"sweep {sw.get('wall_ms_serial', 0):.1f} -> {sw.get('wall_ms_parallel', 0):.1f} ms "
+            f"({summ.get('sweep_speedup', '?')}x, identical={sw.get('reports_identical')}) "
+            f"total_wall_ms={summ.get('total_wall_ms', '?')}"
+        )
+    last = runs[-1].get("recording", [])
+    if last:
+        print("  latest run, recording cost:")
+        w = max(len(r.get("name", "?")) for r in last)
+        for r in last:
+            print(
+                f"    {r.get('name', '?'):<{w}}  "
+                f"wall {r.get('wall_ms_off', 0):7.2f} -> {r.get('wall_ms_on', 0):7.2f} ms "
+                f"({r.get('overhead_pct', 0):+6.2f}%)"
+            )
+
+
 def site_lines(sites):
     for s in sites:
         print(
@@ -106,6 +134,8 @@ for path in sys.argv[1:]:
         continue
     if path == "BENCH_obs_overhead.json":
         obs_overhead(doc)
+    elif path == "BENCH_host_perf.json":
+        host_perf(doc)
     elif path == "BENCH_sharing_advisor.json":
         sharing_advisor(doc)
     else:

@@ -25,6 +25,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
 echo "==> shasta-core builds with event recording compiled out"
 cargo build -p shasta-core --no-default-features
 
+echo "==> obs-block-state feature matrix (tier-1 on, fig4 byte-identical off vs on)"
+# Per-transition block-state events are compiled out by default; turning
+# them on must not change any aggregate-derived output (they feed only the
+# Chrome exporter), so Figure 4 must be byte-identical either way.
+cargo test -q -p shasta-core --features obs-block-state > /dev/null
+fig4_off="$(mktemp /tmp/shasta-ci-fig4-off.XXXXXX.txt)"
+fig4_on="$(mktemp /tmp/shasta-ci-fig4-on.XXXXXX.txt)"
+cargo run --release -p shasta-bench --bin fig4_breakdown -- \
+  --preset tiny > "$fig4_off"
+cargo run --release -p shasta-bench --features shasta-core/obs-block-state \
+  --bin fig4_breakdown -- --preset tiny > "$fig4_on"
+diff -u "$fig4_off" "$fig4_on" || { echo "fig4 diverged with obs-block-state"; exit 1; }
+rm -f "$fig4_off" "$fig4_on"
+
 echo "==> trace-capture smoke (tiny preset, event/counter cross-check + Chrome export)"
 trace_tmp="$(mktemp /tmp/shasta-ci-trace.XXXXXX.json)"
 cargo run --release -p shasta-bench --bin fig4_breakdown -- \
@@ -42,10 +56,24 @@ cargo run --release -p shasta-bench --bin sharing_profile -- \
 test -s "$advisor_tmp" || { echo "advisor JSON is empty"; exit 1; }
 rm -f "$advisor_tmp"
 
-echo "==> bounded schedule sweep (64 seeds, oracle validation included)"
+echo "==> bounded schedule sweep (64 seeds, parallel, oracle validation included)"
 # 64 seeds x 5 scenarios x 2 policies = 640 schedules, plus the sweep
 # against both injected-bug variants; completes in seconds in release mode
-# (budget: < 60 s).
-cargo run --release -p shasta-check --bin check -- --seeds 64 --quiet
+# (budget: < 60 s). -j 0 fans runs across one worker per CPU; the report is
+# byte-identical for any worker count (see docs/PERFORMANCE.md).
+cargo run --release -p shasta-check --bin check -- --seeds 64 -j 0 --quiet
+
+echo "==> host-perf smoke (--quick: 12 seeds, 1 rep, tiny preset)"
+# Exercises the serial-vs-parallel sweep equivalence assertion and the
+# recording-cost probes end to end; writes to a throwaway trajectory so CI
+# never pollutes the tracked BENCH_host_perf.json.
+hp_tmp="$(mktemp /tmp/shasta-ci-hostperf.XXXXXX.json)"
+cargo run --release -p shasta-bench --bin host_perf -- \
+  --quick --out "$hp_tmp" > /dev/null
+test -s "$hp_tmp" || { echo "host_perf JSON is empty"; exit 1; }
+rm -f "$hp_tmp"
+
+echo "==> perf regression gate (tracked trajectories)"
+scripts/perf_gate.sh
 
 echo "CI OK"

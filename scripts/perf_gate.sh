@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Performance regression gate over the tracked BENCH_*.json trajectories.
+# Compares the LAST trajectory entry against the one before it:
+#
+#   BENCH_obs_overhead.json  fail if max_recording_overhead_pct rose by
+#                            more than 3 percentage points
+#   BENCH_host_perf.json     fail if total_wall_ms (serial sweep + unrecorded
+#                            app walls — the single-thread hot path) rose by
+#                            more than 15%
+#
+# A file with fewer than two entries (or no file at all) is informational
+# only: the trajectory has nothing to compare against yet. Read-only; uses
+# only the Python standard library.
+#
+# Usage: scripts/perf_gate.sh          (from anywhere; cd's to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 <<'PY'
+import json
+import os
+import sys
+
+OBS_MAX_DELTA_POINTS = 3.0
+HOST_MAX_RATIO = 1.15
+
+failures = []
+
+
+def runs_of(path):
+    if not os.path.exists(path):
+        print(f"{path}: absent; nothing to gate")
+        return None
+    with open(path) as fh:
+        doc = json.load(fh)
+    runs = doc.get("runs")
+    if runs is None:  # legacy single-run file
+        runs = [doc]
+    if len(runs) < 2:
+        print(f"{path}: {len(runs)} entry(ies); need 2 to gate — skipping")
+        return None
+    return runs
+
+
+runs = runs_of("BENCH_obs_overhead.json")
+if runs is not None:
+    prev = runs[-2]["summary"]["max_recording_overhead_pct"]
+    last = runs[-1]["summary"]["max_recording_overhead_pct"]
+    delta = last - prev
+    verdict = "OK" if delta <= OBS_MAX_DELTA_POINTS else "FAIL"
+    print(
+        f"BENCH_obs_overhead.json: max recording overhead "
+        f"{prev:.2f}% -> {last:.2f}% ({delta:+.2f} points, "
+        f"limit +{OBS_MAX_DELTA_POINTS}) {verdict}"
+    )
+    if verdict == "FAIL":
+        failures.append("recording overhead regressed")
+
+runs = runs_of("BENCH_host_perf.json")
+if runs is not None:
+    prev = runs[-2]["summary"]["total_wall_ms"]
+    last = runs[-1]["summary"]["total_wall_ms"]
+    ratio = last / prev if prev > 0 else float("inf")
+    verdict = "OK" if ratio <= HOST_MAX_RATIO else "FAIL"
+    print(
+        f"BENCH_host_perf.json: total_wall_ms {prev:.1f} -> {last:.1f} "
+        f"({ratio:.3f}x, limit {HOST_MAX_RATIO}x) {verdict}"
+    )
+    if verdict == "FAIL":
+        failures.append("host wall-clock regressed")
+
+if failures:
+    print("perf gate FAILED: " + "; ".join(failures))
+    sys.exit(1)
+print("perf gate OK")
+PY
