@@ -108,6 +108,10 @@ pub struct RunConfig {
     /// Enable the load-balanced incoming-queue future-work extension
     /// (SMP only; implies `share_directory`).
     pub load_balance: bool,
+    /// Profile-guided site-label → block-size overrides (from a persisted
+    /// hint file): applied to every labeled allocation during setup,
+    /// replacing whatever hint the application passed.
+    pub site_hints: Option<std::collections::BTreeMap<String, u64>>,
     /// Machine cost model.
     pub cost: CostModel,
 }
@@ -123,6 +127,7 @@ impl RunConfig {
             validate: false,
             share_directory: false,
             load_balance: false,
+            site_hints: None,
             cost: CostModel::alpha_4100(),
         }
     }
@@ -149,6 +154,28 @@ impl RunConfig {
     pub fn variable_granularity(mut self) -> Self {
         self.variable_granularity = true;
         self
+    }
+
+    /// Installs profile-guided site hints (label → block bytes). The
+    /// overrides replace the application's own hints for matching labels —
+    /// the advisor's output drives granularity, not guesswork.
+    pub fn with_site_hints(mut self, hints: std::collections::BTreeMap<String, u64>) -> Self {
+        self.site_hints = Some(hints);
+        self
+    }
+
+    /// Loads a persisted [`shasta_obs::HintFile`] and installs its
+    /// overrides (see [`with_site_hints`](Self::with_site_hints)).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/IO error text when the file is missing or
+    /// malformed.
+    pub fn with_hint_file(self, path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let file = shasta_obs::HintFile::parse(&text)?;
+        Ok(self.with_site_hints(file.overrides()))
     }
 }
 
@@ -227,6 +254,9 @@ fn build_machine(app: &dyn DsmApp, cfg: &RunConfig) -> (Machine, Vec<Body>) {
         };
     }
     let mut machine = Machine::new(topo, cfg.cost.clone(), proto_cfg, app.heap_bytes());
+    if let Some(hints) = &cfg.site_hints {
+        machine.set_site_hints(hints.clone());
+    }
     let opts =
         PlanOpts { procs, variable_granularity: cfg.variable_granularity, validate: cfg.validate };
     let bodies = machine.setup(|s| app.plan(s, &opts));

@@ -58,8 +58,12 @@ impl Lu {
     }
 
     fn build(preset: Preset, contig: bool, vg_hint: bool) -> Self {
+        // All presets share the panel size `b`: profile-guided hinting
+        // (advisor_sweep) profiles on Tiny and replays on Default/Large, so
+        // the ownership structure within a coherence block — which is set
+        // by `b`, not `n` — must be representative across presets.
         let (n, b) = match preset {
-            Preset::Tiny => (32, 8),
+            Preset::Tiny => (64, 16),
             Preset::Default => (256, 16),
             Preset::Large => (384, 16),
         };

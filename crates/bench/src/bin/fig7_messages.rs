@@ -5,7 +5,9 @@
 //! Every bar is derived twice: from the network layer's `MsgStats` counters
 //! and from the `msg-send` event stream (`shasta_obs::MsgAgg`, classifying
 //! by physical placement from the space snapshot). Counts *and* payload
-//! bytes must agree **exactly**, or the binary aborts.
+//! bytes must agree **exactly**, or the binary aborts. The event side also
+//! keeps a per-message-kind count/byte table; its sums must likewise equal
+//! the class totals exactly.
 //!
 //! `-j`/`--jobs` fans the independent (procs, app) blocks across worker
 //! threads (0 = one per CPU; default honors `SHASTA_CHECK_JOBS`, else
@@ -28,10 +30,18 @@ fn bar(label: &str, st: &RunStats, norm: u64) -> String {
 }
 
 fn crosscheck(name: &str, label: &str, st: &RunStats, log: &shasta_obs::EventLog) {
-    log.msgs()
-        .expect("run_observed attaches the space map")
-        .crosscheck(&st.messages)
+    let msgs = log.msgs().expect("run_observed attaches the space map");
+    msgs.crosscheck(&st.messages)
         .unwrap_or_else(|e| panic!("{name} {label}: event/counter divergence: {e}"));
+    let (kind_count, kind_bytes) =
+        msgs.by_kind().fold((0u64, 0u64), |(c, b), (_, n, bytes)| (c + n, b + bytes));
+    let class_count: u64 = MsgClass::ALL.iter().map(|&c| st.messages.count(c)).sum();
+    let class_bytes: u64 = MsgClass::ALL.iter().map(|&c| st.messages.payload_bytes(c)).sum();
+    assert_eq!(
+        (kind_count, kind_bytes),
+        (class_count, class_bytes),
+        "{name} {label}: per-kind table diverges from class totals"
+    );
 }
 
 /// One application's block at one processor count: the Base bar plus the

@@ -96,6 +96,9 @@ fn rows_of(reports: &[SiteReport]) -> Vec<AdvisorRow> {
             pattern: r.dominant().label().to_string(),
             read_misses: r.read_misses,
             write_misses: r.write_misses,
+            downgrades: r.downgrades,
+            downgrade_fanout: r.downgrade_fanout(),
+            bytes_per_useful: r.bytes_per_useful_byte(),
             recommendation: r.recommendation.describe(),
         })
         .collect()
@@ -105,13 +108,16 @@ fn sites_json(reports: &[SiteReport]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in reports.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"label\": \"{}\", \"block_bytes\": {}, \"blocks_touched\": {}, \"pattern\": \"{}\", \"read_misses\": {}, \"write_misses\": {}, \"recommendation\": \"{}\", \"evidence\": \"{}\"}}{}\n",
+            "      {{\"label\": \"{}\", \"block_bytes\": {}, \"blocks_touched\": {}, \"pattern\": \"{}\", \"read_misses\": {}, \"write_misses\": {}, \"downgrades\": {}, \"downgrade_fanout\": {:.2}, \"bytes_per_useful\": {:.2}, \"recommendation\": \"{}\", \"evidence\": \"{}\"}}{}\n",
             r.label,
             r.block_bytes,
             r.blocks_touched,
             r.dominant().label(),
             r.read_misses,
             r.write_misses,
+            r.downgrades,
+            r.downgrade_fanout(),
+            r.bytes_per_useful_byte(),
             r.recommendation.describe(),
             r.evidence,
             if i + 1 < reports.len() { "," } else { "" },

@@ -56,6 +56,35 @@ fn derived_breakdown_matches_stats_on_table2_kernels() {
     }
 }
 
+/// Event-derived downgrade histograms match the engine's `DowngradeHist`
+/// exactly (every bucket and the total), and the per-message-kind table
+/// re-sums to the network layer's class totals in both counts and payload
+/// bytes, on every Table 2 kernel under Base-Shasta and clustered
+/// SMP-Shasta.
+#[test]
+fn derived_downgrades_and_message_kinds_match_engine_on_table2_kernels() {
+    for (spec, proto, clustering) in table2_points() {
+        let (stats, log) = run_observed(&spec, Preset::Tiny, proto, 8, clustering, false);
+        let name = format!("{} {proto:?} c{clustering}", spec.name);
+        log.downgrades()
+            .crosscheck(&stats.downgrades)
+            .unwrap_or_else(|e| panic!("{name}: downgrade divergence: {e}"));
+        let msgs = log.msgs().expect("observed runs attach the space map");
+        msgs.crosscheck(&stats.messages).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (kind_count, kind_bytes) =
+            msgs.by_kind().fold((0u64, 0u64), |(c, b), (_, n, bytes)| (c + n, b + bytes));
+        let class_count: u64 =
+            shasta_stats::MsgClass::ALL.iter().map(|&c| stats.messages.count(c)).sum();
+        let class_bytes: u64 =
+            shasta_stats::MsgClass::ALL.iter().map(|&c| stats.messages.payload_bytes(c)).sum();
+        assert_eq!(
+            (kind_count, kind_bytes),
+            (class_count, class_bytes),
+            "{name}: per-kind table diverges from class totals"
+        );
+    }
+}
+
 /// An SMP run with false sharing exercises every event kind the protocol
 /// can emit; a Base run must emit none of the SMP-only kinds.
 #[test]

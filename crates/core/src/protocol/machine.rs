@@ -365,12 +365,22 @@ impl Machine {
         self.obs = rec;
     }
 
+    /// Installs profile-guided label → block-size overrides on the shared
+    /// space (see [`SharedSpace::set_hint_overrides`]): any later
+    /// `malloc_labeled` during [`Machine::setup`] resolves its granularity
+    /// from the map instead of the caller's hint. Call **before**
+    /// [`Machine::setup`].
+    pub fn set_site_hints(&mut self, hints: std::collections::BTreeMap<String, u64>) {
+        self.space.set_hint_overrides(hints);
+    }
+
     /// Snapshots the shared space and topology as the plain-data
     /// [`SpaceMap`](shasta_obs::SpaceMap) the observability layer consumes.
     fn space_map(&self) -> shasta_obs::SpaceMap {
         shasta_obs::SpaceMap {
             line_bytes: self.space.line_bytes(),
             proc_phys_node: (0..self.topo.procs()).map(|p| self.topo.phys_node_of(p).0).collect(),
+            proc_coh_node: (0..self.topo.procs()).map(|p| self.topo.virt_node_of(p).0).collect(),
             allocs: self
                 .space
                 .labeled_allocations()

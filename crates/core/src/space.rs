@@ -173,6 +173,9 @@ pub struct SharedSpace {
     /// Caller-supplied site labels, parallel to `allocs`. Kept out of
     /// [`Allocation`] so that struct stays plain serializable data.
     labels: Vec<&'static str>,
+    /// Profile-guided label → block-size overrides (see
+    /// [`set_hint_overrides`](Self::set_hint_overrides)).
+    hint_overrides: std::collections::BTreeMap<String, u64>,
 }
 
 impl SharedSpace {
@@ -192,7 +195,18 @@ impl SharedSpace {
             next: HEAP_BASE,
             allocs: Vec::new(),
             labels: Vec::new(),
+            hint_overrides: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Installs profile-guided granularity overrides: any later
+    /// [`malloc_labeled`](Self::malloc_labeled) whose label appears in the
+    /// map allocates with `BlockHint::Bytes(map[label])` regardless of the
+    /// hint the caller passed (the advisor's verdict replaces guesswork).
+    /// Unlabeled (`"anon"`) allocations are never overridden. Call before
+    /// application setup so every allocation is covered.
+    pub fn set_hint_overrides(&mut self, overrides: std::collections::BTreeMap<String, u64>) {
+        self.hint_overrides = overrides;
     }
 
     /// Line size in bytes.
@@ -261,6 +275,10 @@ impl SharedSpace {
                 return Err(AllocError::BadHome { home: h, procs: self.procs });
             }
         }
+        let block = match self.hint_overrides.get(label) {
+            Some(&bytes) if label != "anon" => BlockHint::Bytes(bytes),
+            _ => block,
+        };
         let block_bytes = match block {
             BlockHint::Auto => {
                 if size < SMALL_OBJECT_BYTES {
@@ -454,6 +472,21 @@ mod tests {
         assert_eq!(s.site_label_of(HEAP_BASE - 1), None);
         let labels: Vec<&str> = s.labeled_allocations().map(|(_, l)| l).collect();
         assert_eq!(labels, vec!["bodies", "anon"]);
+    }
+
+    #[test]
+    fn hint_overrides_replace_caller_hints_for_matching_labels_only() {
+        let mut s = space();
+        s.set_hint_overrides(
+            [("bodies".to_string(), 512u64), ("anon".to_string(), 512)].into_iter().collect(),
+        );
+        let a = s.malloc_labeled(1_024, BlockHint::Line, HomeHint::RoundRobin, "bodies").unwrap();
+        assert_eq!(s.block_of(a).unwrap().len, 512, "override replaces the caller's hint");
+        let b =
+            s.malloc_labeled(1_024, BlockHint::Bytes(256), HomeHint::RoundRobin, "other").unwrap();
+        assert_eq!(s.block_of(b).unwrap().len, 256, "unlisted labels keep their hint");
+        let c = s.malloc(1_024, BlockHint::Line, HomeHint::RoundRobin).unwrap();
+        assert_eq!(s.block_of(c).unwrap().len, 64, "anonymous allocations are never overridden");
     }
 
     #[test]

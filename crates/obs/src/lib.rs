@@ -44,12 +44,14 @@
 pub mod chrome;
 mod event;
 mod fig4;
+pub mod hints;
 pub mod profile;
 mod recorder;
 mod rederive;
 
 pub use event::{Event, EventKind};
 pub use fig4::Fig4Agg;
+pub use hints::{hints_from_reports, HintFile, SiteHint};
 pub use profile::{ProfileAgg, Recommendation, SharingPattern, SiteReport, SpaceMap};
 pub use recorder::{EventLog, ProcEvents, Recorder};
-pub use rederive::{MissAgg, MsgAgg};
+pub use rederive::{DowngradeAgg, MissAgg, MsgAgg};

@@ -6,23 +6,40 @@
 //! guesswork. This module closes the loop: a [`ProfileAgg`] streams over the
 //! event stream (fed at record time, so ring eviction never loses history),
 //! maintains a per-block [`BlockHistory`] — miss kind × hop count, downgrade
-//! fan-out, inter-node writer alternation, readers per write epoch, and
-//! per-node touch extents — and classifies each block's
-//! [`SharingPattern`]. Classifications roll up to the allocation **site
-//! labels** the application passed to `malloc`, and [`ProfileAgg::advise`]
-//! emits one [`SiteReport`] per site with a recommended block-size hint and
-//! the evidence behind it (e.g. *"2 nodes touch disjoint ranges of each
-//! 256 B block — split to 64 B"*).
+//! fan-out and direction, protocol-message bytes, inter-node writer
+//! alternation, readers per write epoch, and per-node **subline occupancy
+//! bitmaps** — and classifies each block's [`SharingPattern`].
+//! Classifications roll up to the allocation **site labels** the application
+//! passed to `malloc`, and [`ProfileAgg::advise`] emits one [`SiteReport`]
+//! per site with a recommended block-size hint and the evidence behind it
+//! (e.g. *"2 nodes touch disjoint sublines of each 256 B block — split to
+//! 64 B"*).
+//!
+//! Each block history divides the block into [`SUBLINES`] equal sublines and
+//! keeps one read bitmap and one write bitmap per **coherence node** — the
+//! virtual protocol node, the unit that actually exchanges coherence
+//! messages (every processor under Base-Shasta) — indexed directly by node
+//! id, O(1) on the per-check-miss hot path. Bitmaps, not
+//! `[lo, hi)` extents, decide false sharing: two nodes whose touched
+//! sublines interleave but never coincide are false-shared even though
+//! their byte extents overlap, and the split search can recommend any line
+//! multiple (including non-powers-of-two) that puts every subline run under
+//! a single node.
 //!
 //! The profiler is decoupled from `shasta-core`: the engine hands it a plain
 //! [`SpaceMap`] snapshot (allocation extents, block sizes, labels, and the
-//! processor → physical-node mapping) when observation is enabled.
+//! processor → physical-node and → coherence-node mappings) when
+//! observation is enabled.
 
 use std::collections::BTreeMap;
 
 use shasta_stats::{Hops, MissKind};
 
 use crate::event::EventKind;
+
+/// Number of occupancy sublines per block history (each bitmap is one
+/// machine word).
+pub const SUBLINES: u64 = 64;
 
 /// One shared-space allocation as the profiler sees it: extent, coherence
 /// granularity, and the caller-supplied site label.
@@ -45,8 +62,15 @@ pub struct AllocSite {
 pub struct SpaceMap {
     /// Line size in bytes — the lower bound for any granularity advice.
     pub line_bytes: u64,
-    /// Physical SMP node of each processor (index = processor id).
+    /// Physical SMP node of each processor (index = processor id). Governs
+    /// message *locality* (remote vs hardware-local delivery).
     pub proc_phys_node: Vec<u32>,
+    /// Coherence (virtual protocol) node of each processor. This is the
+    /// unit the sharing profiler reasons in: under Base-Shasta every
+    /// processor is its own coherence node even when several share an SMP
+    /// box, so two same-box processors ping-ponging a block is real
+    /// protocol traffic, not hardware sharing.
+    pub proc_coh_node: Vec<u32>,
     /// Allocations sorted by start address.
     pub allocs: Vec<AllocSite>,
 }
@@ -74,6 +98,12 @@ impl SpaceMap {
     pub fn same_phys(&self, a: u32, b: u32) -> bool {
         self.phys_node_of(a) == self.phys_node_of(b)
     }
+
+    /// Coherence (protocol) node of processor `p`. Falls back to the
+    /// physical node for maps built before the field existed.
+    pub fn coh_node_of(&self, p: u32) -> u32 {
+        self.proc_coh_node.get(p as usize).copied().unwrap_or_else(|| self.phys_node_of(p))
+    }
 }
 
 /// The sharing pattern a block's miss history exhibits.
@@ -84,13 +114,13 @@ pub enum SharingPattern {
     /// Multiple nodes read the block; writes are absent or negligible.
     ReadMostly,
     /// Ownership ping-pongs between nodes that each read and write the
-    /// whole datum (overlapping extents, few readers between writes).
+    /// whole datum (overlapping sublines, few readers between writes).
     Migratory,
     /// A stable writer (or writers) produces values other nodes consume:
     /// write epochs are separated by reads from other nodes.
     ProducerConsumer,
-    /// Different nodes touch **disjoint** byte ranges of the same block —
-    /// the coherence traffic is an artifact of the granularity, not of the
+    /// Different nodes touch **disjoint** sublines of the same block — the
+    /// coherence traffic is an artifact of the granularity, not of the
     /// data (§2.1's motivation for smaller blocks).
     FalseShared,
 }
@@ -121,13 +151,32 @@ impl SharingPattern {
     }
 }
 
-/// The byte range of a block one node has touched (miss-faulting spans;
-/// `hi` is exclusive).
+/// One node's occupancy of a block: the exact byte extent it has
+/// miss-faulted on plus [`SUBLINES`]-wide read/write bitmaps.
 #[derive(Clone, Copy, Debug)]
-struct NodeExtent {
-    node: u32,
-    lo: u64,
-    hi: u64,
+pub struct NodeOcc {
+    /// Lowest touched byte offset (`u64::MAX` while untouched).
+    pub lo: u64,
+    /// One past the highest touched byte offset.
+    pub hi: u64,
+    /// Bitmap of sublines this node has read-missed on.
+    pub read_bits: u64,
+    /// Bitmap of sublines this node has write-missed on.
+    pub write_bits: u64,
+}
+
+impl NodeOcc {
+    const UNTOUCHED: NodeOcc = NodeOcc { lo: u64::MAX, hi: 0, read_bits: 0, write_bits: 0 };
+
+    /// Whether the node touched the block at all.
+    pub fn touched(&self) -> bool {
+        self.read_bits | self.write_bits != 0
+    }
+
+    /// Union of read and write sublines.
+    pub fn bits(&self) -> u64 {
+        self.read_bits | self.write_bits
+    }
 }
 
 /// Everything the profiler remembers about one coherence block.
@@ -136,6 +185,9 @@ pub struct BlockHistory {
     /// Index of the owning allocation in the [`SpaceMap`] (`usize::MAX` if
     /// the block start fell outside every known allocation).
     pub site: usize,
+    /// Coherence-block size in bytes (subline width is `block_bytes / 64`,
+    /// rounded up).
+    pub block_bytes: u64,
     /// Load-side protocol entries (read misses) on this block.
     pub read_misses: u64,
     /// Store-side protocol entries (write/upgrade misses) on this block.
@@ -144,8 +196,21 @@ pub struct BlockHistory {
     pub miss_hops: [[u64; 2]; 3],
     /// Downgrades of this block (SMP-Shasta).
     pub downgrades: u64,
+    /// Downgrades that went all the way to invalid (exclusive→invalid); the
+    /// rest were exclusive→shared.
+    pub downgrades_to_invalid: u64,
+    /// Pending downgrades resolved (one `downgrade-done` per completed
+    /// downgrade, §3.4.3).
+    pub downgrade_resolutions: u64,
     /// Total downgrade messages across those downgrades (fan-out).
     pub downgrade_msgs: u64,
+    /// Protocol messages whose subject was this block (requests, replies,
+    /// invalidations, downgrades — everything the engine sent over a
+    /// channel).
+    pub protocol_msgs: u64,
+    /// Data-payload bytes those messages carried (replies carry a whole
+    /// block; everything else is header-only).
+    pub protocol_bytes: u64,
     /// Misses satisfied by a private-table upgrade (block already on node).
     pub private_upgrades: u64,
     /// Misses merged into an already-pending request.
@@ -154,33 +219,43 @@ pub struct BlockHistory {
     pub writer_alternations: u64,
     /// Write epochs observed (one per write miss).
     pub epochs: u64,
+    subline_bytes: u64,
     reader_nodes: u64,
     writer_nodes: u64,
     last_writer: Option<u32>,
     epoch_readers: u64,
     epoch_reader_total: u64,
-    extents: Vec<NodeExtent>,
+    /// Per-node occupancy, indexed directly by physical node id (O(1) on
+    /// the check-miss hot path; node counts are tiny).
+    occ: Vec<NodeOcc>,
 }
 
 impl BlockHistory {
-    fn new(site: usize) -> Self {
+    fn new(site: usize, block_bytes: u64) -> Self {
+        let block_bytes = block_bytes.max(1);
         BlockHistory {
             site,
+            block_bytes,
             read_misses: 0,
             write_misses: 0,
             miss_hops: [[0; 2]; 3],
             downgrades: 0,
+            downgrades_to_invalid: 0,
+            downgrade_resolutions: 0,
             downgrade_msgs: 0,
+            protocol_msgs: 0,
+            protocol_bytes: 0,
             private_upgrades: 0,
             merged: 0,
             writer_alternations: 0,
             epochs: 0,
+            subline_bytes: block_bytes.div_ceil(SUBLINES).max(1),
             reader_nodes: 0,
             writer_nodes: 0,
             last_writer: None,
             epoch_readers: 0,
             epoch_reader_total: 0,
-            extents: Vec::new(),
+            occ: Vec::new(),
         }
     }
 
@@ -188,19 +263,39 @@ impl BlockHistory {
         1u64 << node.min(63)
     }
 
-    fn touch_extent(&mut self, node: u32, lo: u64, hi: u64) {
-        match self.extents.iter_mut().find(|e| e.node == node) {
-            Some(e) => {
-                e.lo = e.lo.min(lo);
-                e.hi = e.hi.max(hi);
-            }
-            None => self.extents.push(NodeExtent { node, lo, hi }),
+    /// Occupancy subline width in bytes.
+    pub fn subline_bytes(&self) -> u64 {
+        self.subline_bytes
+    }
+
+    /// Bitmap covering byte offsets `[lo, hi)` of the block.
+    fn mask(&self, lo: u64, hi: u64) -> u64 {
+        let first = (lo / self.subline_bytes).min(SUBLINES - 1) as u32;
+        let last = (hi.saturating_sub(1) / self.subline_bytes).min(SUBLINES - 1) as u32;
+        let width = last - first + 1;
+        if width >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << first
         }
     }
 
+    fn occ_mut(&mut self, node: u32) -> &mut NodeOcc {
+        let i = node as usize;
+        if i >= self.occ.len() {
+            self.occ.resize(i + 1, NodeOcc::UNTOUCHED);
+        }
+        &mut self.occ[i]
+    }
+
     fn note_miss(&mut self, node: u32, off: u64, len: u64, write: bool) {
-        self.touch_extent(node, off, off + len.max(1));
+        let (lo, hi) = (off, off + len.max(1));
+        let bits = self.mask(lo, hi);
+        let o = self.occ_mut(node);
+        o.lo = o.lo.min(lo);
+        o.hi = o.hi.max(hi);
         if write {
+            o.write_bits |= bits;
             self.write_misses += 1;
             self.writer_nodes |= Self::bit(node);
             if let Some(prev) = self.last_writer {
@@ -213,10 +308,17 @@ impl BlockHistory {
             self.epoch_reader_total += u64::from(self.epoch_readers.count_ones());
             self.epoch_readers = 0;
         } else {
+            o.read_bits |= bits;
             self.read_misses += 1;
             self.reader_nodes |= Self::bit(node);
             self.epoch_readers |= Self::bit(node);
         }
+    }
+
+    /// Per-node occupancy for every node that touched the block, as
+    /// `(node, occupancy)` pairs.
+    pub fn occupancy(&self) -> impl Iterator<Item = (u32, &NodeOcc)> {
+        self.occ.iter().enumerate().filter(|(_, o)| o.touched()).map(|(n, o)| (n as u32, o))
     }
 
     /// Number of distinct nodes that read-missed on the block.
@@ -243,22 +345,72 @@ impl BlockHistory {
         }
     }
 
-    /// Whether the per-node touch extents are pairwise disjoint — the
-    /// signature of false sharing (each node uses its own slice of the
-    /// block, yet the whole block bounces).
+    /// Whether the per-node touched **byte extents** `[lo, hi)` are
+    /// pairwise disjoint. Extents cannot see interleaving; classification
+    /// uses [`occupancy_disjoint`](Self::occupancy_disjoint) instead.
     pub fn extents_disjoint(&self) -> bool {
-        if self.extents.len() < 2 {
+        let mut spans: Vec<(u64, u64)> = self.occupancy().map(|(_, o)| (o.lo, o.hi)).collect();
+        if spans.len() < 2 {
             return false;
         }
-        let mut sorted = self.extents.clone();
-        sorted.sort_by_key(|e| e.lo);
-        sorted.windows(2).all(|w| w[0].hi <= w[1].lo)
+        spans.sort_unstable();
+        spans.windows(2).all(|w| w[0].1 <= w[1].0)
+    }
+
+    /// Whether the per-node subline bitmaps are pairwise disjoint — the
+    /// signature of false sharing (each node uses its own sublines of the
+    /// block, yet the whole block bounces). Unlike byte extents, this
+    /// recognizes interleaved-but-disjoint writers.
+    pub fn occupancy_disjoint(&self) -> bool {
+        let mut nodes = 0u32;
+        let mut seen = 0u64;
+        for (_, o) in self.occupancy() {
+            let bits = o.bits();
+            if seen & bits != 0 {
+                return false;
+            }
+            seen |= bits;
+            nodes += 1;
+        }
+        nodes >= 2
     }
 
     /// Widest single-node touch span in bytes (from the recorded faulting
     /// spans).
     pub fn max_node_span(&self) -> u64 {
-        self.extents.iter().map(|e| e.hi - e.lo).max().unwrap_or(0)
+        self.occupancy().map(|(_, o)| o.hi - o.lo).max().unwrap_or(0)
+    }
+
+    /// Bytes of the block actually touched by anyone, at subline
+    /// resolution (union of all occupancy bitmaps).
+    pub fn useful_bytes(&self) -> u64 {
+        let union = self.occ.iter().fold(0u64, |u, o| u | o.bits());
+        (u64::from(union.count_ones()) * self.subline_bytes).min(self.block_bytes)
+    }
+
+    /// Whether splitting the block into `chunk`-byte pieces would leave
+    /// every piece touched by at most one node (i.e. the split eliminates
+    /// the sharing), judged at subline resolution.
+    pub fn split_separates(&self, chunk: u64) -> bool {
+        if chunk == 0 || chunk >= self.block_bytes {
+            return false;
+        }
+        let mut lo = 0u64;
+        while lo < self.block_bytes {
+            let hi = (lo + chunk).min(self.block_bytes);
+            let mask = self.mask(lo, hi);
+            let mut nodes = 0u32;
+            for (_, o) in self.occupancy() {
+                if o.bits() & mask != 0 {
+                    nodes += 1;
+                    if nodes > 1 {
+                        return false;
+                    }
+                }
+            }
+            lo = hi;
+        }
+        true
     }
 
     /// Classifies the block's sharing pattern from its history.
@@ -269,7 +421,7 @@ impl BlockHistory {
         if self.write_misses == 0 {
             return SharingPattern::ReadMostly;
         }
-        if self.extents_disjoint() {
+        if self.occupancy_disjoint() {
             return SharingPattern::FalseShared;
         }
         if self.write_misses * 20 <= self.read_misses {
@@ -328,6 +480,21 @@ pub struct SiteReport {
     pub read_misses: u64,
     /// Total write misses over the site's blocks.
     pub write_misses: u64,
+    /// Total block downgrades attributed to the site (SMP-Shasta).
+    pub downgrades: u64,
+    /// Downgrades that went exclusive→invalid (the rest went →shared).
+    pub downgrades_to_invalid: u64,
+    /// Pending downgrades resolved (`downgrade-done` events).
+    pub downgrade_resolutions: u64,
+    /// Downgrade messages sent across those downgrades.
+    pub downgrade_msgs: u64,
+    /// Protocol messages whose subject block belongs to the site.
+    pub protocol_msgs: u64,
+    /// Data-payload bytes those messages carried.
+    pub protocol_bytes: u64,
+    /// Bytes of the site's touched blocks anyone actually touched
+    /// (subline-resolution union).
+    pub useful_bytes: u64,
     /// The recommended granularity change.
     pub recommendation: Recommendation,
     /// One-line justification of the recommendation.
@@ -349,6 +516,27 @@ impl SiteReport {
         }
         best
     }
+
+    /// Mean downgrade messages per downgrade (Figure 8's per-site analogue;
+    /// 0 when the site saw no downgrades).
+    pub fn downgrade_fanout(&self) -> f64 {
+        if self.downgrades == 0 {
+            0.0
+        } else {
+            self.downgrade_msgs as f64 / self.downgrades as f64
+        }
+    }
+
+    /// Payload bytes moved per byte anyone touched — the transfer-waste
+    /// ratio the advisor weighs against miss counts (0 when nothing was
+    /// touched or no payload moved).
+    pub fn bytes_per_useful_byte(&self) -> f64 {
+        if self.useful_bytes == 0 {
+            0.0
+        } else {
+            self.protocol_bytes as f64 / self.useful_bytes as f64
+        }
+    }
 }
 
 /// Streaming sharing-pattern aggregator. Fed every recorded event (before
@@ -359,6 +547,10 @@ pub struct ProfileAgg {
     map: SpaceMap,
     blocks: BTreeMap<u64, BlockHistory>,
 }
+
+/// Transfer-waste ratio above which the advisor treats a split as justified
+/// even without a false-shared majority (payload bytes ≥ 8× touched bytes).
+const WASTE_SPLIT_RATIO: f64 = 8.0;
 
 impl ProfileAgg {
     /// A profiler over the given space snapshot.
@@ -375,7 +567,7 @@ impl ProfileAgg {
     pub fn observe(&mut self, p: u32, kind: &EventKind) {
         match *kind {
             EventKind::CheckMiss { block, addr, len, write } => {
-                let node = self.map.phys_node_of(p);
+                let node = self.map.coh_node_of(p);
                 let off = addr.saturating_sub(block);
                 self.touch(block).note_miss(node, off, u64::from(len), write);
             }
@@ -386,18 +578,36 @@ impl ProfileAgg {
             }
             EventKind::PrivateUpgrade { block } => self.touch(block).private_upgrades += 1,
             EventKind::MissMerged { block } => self.touch(block).merged += 1,
-            EventKind::DowngradeStart { block, targets, .. } => {
+            EventKind::DowngradeStart { block, to_invalid, targets } => {
                 let h = self.touch(block);
                 h.downgrades += 1;
+                h.downgrades_to_invalid += u64::from(to_invalid);
                 h.downgrade_msgs += u64::from(targets);
+            }
+            EventKind::DowngradeDone { block } => {
+                self.touch(block).downgrade_resolutions += 1;
+            }
+            EventKind::MsgSend { msg, block, .. } => {
+                // Attribute only messages about known allocations — sync
+                // traffic (locks, barriers) has no site to charge.
+                if let Some(i) = self.map.site_index_of(block) {
+                    let bb = self.map.allocs[i].block_bytes;
+                    let payload = if msg == "read-reply" || msg == "write-reply" { bb } else { 0 };
+                    let h = self.blocks.entry(block).or_insert_with(|| BlockHistory::new(i, bb));
+                    h.protocol_msgs += 1;
+                    h.protocol_bytes += payload;
+                }
             }
             _ => {}
         }
     }
 
     fn touch(&mut self, block: u64) -> &mut BlockHistory {
-        let site = self.map.site_index_of(block).unwrap_or(usize::MAX);
-        self.blocks.entry(block).or_insert_with(|| BlockHistory::new(site))
+        let (site, bb) = match self.map.site_index_of(block) {
+            Some(i) => (i, self.map.allocs[i].block_bytes),
+            None => (usize::MAX, self.map.line_bytes.max(64)),
+        };
+        self.blocks.entry(block).or_insert_with(|| BlockHistory::new(site, bb))
     }
 
     /// History of the block starting at `start`, if it saw any activity.
@@ -415,83 +625,181 @@ impl ProfileAgg {
         self.blocks.len()
     }
 
+    /// Largest chunk size (a line multiple below the block size) that
+    /// separates the sharers of **every** block `keep` selects, or `None`
+    /// when no line-multiple split does.
+    fn split_candidate(
+        &self,
+        a: &AllocSite,
+        blocks: &[(u64, &BlockHistory)],
+        keep: impl Fn(&BlockHistory) -> bool,
+    ) -> Option<u64> {
+        let line = self.map.line_bytes.max(1);
+        let mut chunk = (a.block_bytes / line).saturating_sub(1) * line;
+        while chunk >= line {
+            if blocks.iter().filter(|(_, h)| keep(h)).all(|(_, h)| h.split_separates(chunk)) {
+                return Some(chunk);
+            }
+            chunk -= line;
+        }
+        None
+    }
+
+    /// Largest merge factor `k ≥ 2` (capped so the merged block stays ≤
+    /// `cap` bytes) for which merging `k` adjacent blocks never introduces
+    /// a new sharer: every `k`-aligned group's union of touching (and
+    /// writing) nodes is no larger than its largest constituent's. Returns
+    /// `None` when every candidate would create sharing.
+    fn grow_candidate(
+        &self,
+        a: &AllocSite,
+        blocks: &[(u64, &BlockHistory)],
+        cap: u64,
+    ) -> Option<u64> {
+        let max_k = (cap / a.block_bytes).min(a.len / a.block_bytes);
+        (2..=max_k).rev().find(|&k| self.grow_harmless(a, blocks, k))
+    }
+
+    fn grow_harmless(&self, a: &AllocSite, blocks: &[(u64, &BlockHistory)], k: u64) -> bool {
+        let merged = a.block_bytes * k;
+        let mut group = u64::MAX;
+        let (mut un, mut uw) = (0u64, 0u64);
+        let (mut mn, mut mw) = (0u32, 0u32);
+        let ok =
+            |un: u64, uw: u64, mn: u32, mw: u32| un.count_ones() <= mn && uw.count_ones() <= mw;
+        for &(addr, h) in blocks {
+            let g = addr.saturating_sub(a.start) / merged;
+            if g != group {
+                if group != u64::MAX && !ok(un, uw, mn, mw) {
+                    return false;
+                }
+                group = g;
+                (un, uw, mn, mw) = (0, 0, 0, 0);
+            }
+            un |= h.reader_nodes | h.writer_nodes;
+            uw |= h.writer_nodes;
+            mn = mn.max(h.distinct_nodes());
+            mw = mw.max(h.distinct_writers());
+        }
+        group == u64::MAX || ok(un, uw, mn, mw)
+    }
+
     /// Rolls block classifications up to allocation sites and emits one
     /// granularity-advisor report per site (in allocation order).
+    ///
+    /// The advisor weighs three kinds of evidence: sharing patterns (a
+    /// false-shared majority triggers the split search), downgrade fan-out
+    /// (reported per site, Figure 8's per-allocation analogue), and the
+    /// transfer-waste ratio [`SiteReport::bytes_per_useful_byte`] (payload
+    /// bytes moved per touched byte — a high ratio justifies a split even
+    /// without a strict false-shared majority; a grow is only recommended
+    /// when merging provably adds no sharers).
     pub fn advise(&self) -> Vec<SiteReport> {
-        let line = self.map.line_bytes.max(1);
-        self.map
-            .allocs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let mut pattern_blocks = [0u64; 5];
-                let mut read_misses = 0;
-                let mut write_misses = 0;
-                let mut blocks_touched = 0;
-                let mut max_span = 0u64;
-                let mut fs_nodes = 0u32;
-                for h in self.blocks.values().filter(|h| h.site == i) {
-                    blocks_touched += 1;
-                    read_misses += h.read_misses;
-                    write_misses += h.write_misses;
-                    let p = h.pattern();
-                    pattern_blocks[p.index()] += 1;
-                    if p == SharingPattern::FalseShared {
-                        max_span = max_span.max(h.max_node_span());
-                        fs_nodes = fs_nodes.max(h.distinct_nodes());
-                    }
-                }
-                let mut report = SiteReport {
-                    label: a.label,
-                    block_bytes: a.block_bytes,
-                    blocks_touched,
-                    pattern_blocks,
-                    read_misses,
-                    write_misses,
-                    recommendation: Recommendation::Keep,
-                    evidence: String::new(),
-                };
-                let fs = pattern_blocks[SharingPattern::FalseShared.index()];
-                let rm = pattern_blocks[SharingPattern::ReadMostly.index()];
-                if blocks_touched == 0 {
-                    report.evidence = "no protocol activity".to_string();
-                } else if fs > 0 && fs * 2 >= blocks_touched {
-                    // Smallest line multiple that still holds the widest
-                    // single-node working range.
-                    let rec = max_span.div_ceil(line).max(1) * line;
-                    if rec < a.block_bytes {
-                        report.recommendation = Recommendation::Shrink(rec);
-                        report.evidence = format!(
-                            "{fs_nodes} nodes touch disjoint ranges of each {} B block \
-                             (max node span {max_span} B) — split to {rec} B",
-                            a.block_bytes
-                        );
-                    } else {
-                        report.evidence = format!(
-                            "false sharing detected but node ranges span the whole \
-                             {} B block — no smaller granularity separates them",
-                            a.block_bytes
-                        );
-                    }
-                } else if rm * 4 >= blocks_touched * 3
-                    && blocks_touched >= 4
-                    && a.block_bytes < 2_048
-                {
-                    let rec = (a.block_bytes * 4).min(2_048);
-                    report.recommendation = Recommendation::Grow(rec);
+        self.map.allocs.iter().enumerate().map(|(i, a)| self.advise_site(i, a)).collect()
+    }
+
+    fn advise_site(&self, i: usize, a: &AllocSite) -> SiteReport {
+        let blocks: Vec<(u64, &BlockHistory)> =
+            self.blocks.iter().filter(|(_, h)| h.site == i).map(|(&b, h)| (b, h)).collect();
+        let mut report = SiteReport {
+            label: a.label,
+            block_bytes: a.block_bytes,
+            blocks_touched: blocks.len() as u64,
+            pattern_blocks: [0; 5],
+            read_misses: 0,
+            write_misses: 0,
+            downgrades: 0,
+            downgrades_to_invalid: 0,
+            downgrade_resolutions: 0,
+            downgrade_msgs: 0,
+            protocol_msgs: 0,
+            protocol_bytes: 0,
+            useful_bytes: 0,
+            recommendation: Recommendation::Keep,
+            evidence: String::new(),
+        };
+        let mut fs_nodes = 0u32;
+        for (_, h) in &blocks {
+            report.read_misses += h.read_misses;
+            report.write_misses += h.write_misses;
+            report.downgrades += h.downgrades;
+            report.downgrades_to_invalid += h.downgrades_to_invalid;
+            report.downgrade_resolutions += h.downgrade_resolutions;
+            report.downgrade_msgs += h.downgrade_msgs;
+            report.protocol_msgs += h.protocol_msgs;
+            report.protocol_bytes += h.protocol_bytes;
+            report.useful_bytes += h.useful_bytes();
+            let p = h.pattern();
+            report.pattern_blocks[p.index()] += 1;
+            if p == SharingPattern::FalseShared {
+                fs_nodes = fs_nodes.max(h.distinct_nodes());
+            }
+        }
+        let touched = report.blocks_touched;
+        let fs = report.pattern_blocks[SharingPattern::FalseShared.index()];
+        let waste = report.bytes_per_useful_byte();
+        let fanout = report.downgrade_fanout();
+        let fan_note = if report.downgrades > 0 {
+            format!("; downgrade fan-out {fanout:.1} over {} downgrades", report.downgrades)
+        } else {
+            String::new()
+        };
+        if touched == 0 {
+            report.evidence = "no protocol activity".to_string();
+            return report;
+        }
+        if fs > 0 && fs * 2 >= touched {
+            let is_fs = |h: &BlockHistory| h.pattern() == SharingPattern::FalseShared;
+            match self.split_candidate(a, &blocks, is_fs) {
+                Some(rec) => {
+                    report.recommendation = Recommendation::Shrink(rec);
                     report.evidence = format!(
-                        "read-mostly across {blocks_touched} blocks — larger transfers \
-                         amortize per-block protocol overhead"
-                    );
-                } else {
-                    report.evidence = format!(
-                        "dominant pattern {}; granularity left alone",
-                        report.dominant().label()
+                        "{fs_nodes} nodes touch disjoint sublines of each {} B block — \
+                         split to {rec} B{fan_note}",
+                        a.block_bytes
                     );
                 }
-                report
-            })
-            .collect()
+                None => {
+                    report.evidence = format!(
+                        "false sharing detected (disjoint sublines) but no line-multiple \
+                         split of the {} B block separates the sharers{fan_note}",
+                        a.block_bytes
+                    );
+                }
+            }
+            return report;
+        }
+        let multi_node = blocks.iter().any(|(_, h)| h.distinct_nodes() >= 2);
+        if multi_node && waste >= WASTE_SPLIT_RATIO {
+            if let Some(rec) = self.split_candidate(a, &blocks, |_| true) {
+                report.recommendation = Recommendation::Shrink(rec);
+                report.evidence = format!(
+                    "{waste:.1} payload bytes moved per touched byte and a {rec} B split \
+                     separates all sharers{fan_note}"
+                );
+                return report;
+            }
+        }
+        let dominant = report.dominant();
+        let growable = matches!(
+            dominant,
+            SharingPattern::ReadMostly | SharingPattern::ProducerConsumer | SharingPattern::Private
+        );
+        if growable && touched >= 4 && a.block_bytes < 2_048 {
+            if let Some(k) = self.grow_candidate(a, &blocks, 2_048) {
+                let rec = a.block_bytes * k;
+                report.recommendation = Recommendation::Grow(rec);
+                report.evidence = format!(
+                    "{} across {touched} blocks with uniform sharers over {k}-block runs — \
+                     merging to {rec} B amortizes per-block protocol overhead{fan_note}",
+                    dominant.label()
+                );
+                return report;
+            }
+        }
+        report.evidence =
+            format!("dominant pattern {}; granularity left alone{fan_note}", dominant.label());
+        report
     }
 }
 
@@ -504,6 +812,7 @@ mod tests {
             line_bytes: 64,
             // 4 processors, 2 per node.
             proc_phys_node: vec![0, 0, 1, 1],
+            proc_coh_node: vec![0, 0, 1, 1],
             allocs: vec![AllocSite { start: 0x1000, len: 4_096, block_bytes, label: "arr" }],
         }
     }
@@ -525,6 +834,7 @@ mod tests {
         let h = agg.block(0x1000).unwrap();
         assert_eq!(h.pattern(), SharingPattern::FalseShared);
         assert!(h.extents_disjoint());
+        assert!(h.occupancy_disjoint());
         assert!(h.writer_alternations > 0);
         let reports = agg.advise();
         assert_eq!(reports.len(), 1);
@@ -538,11 +848,52 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_disjoint_writers_are_false_shared_despite_overlapping_extents() {
+        // 512 B block, line-sized stripes: node 0 owns stripes 0/2/4/6,
+        // node 1 owns stripes 1/3/5/7. Byte extents overlap almost fully,
+        // but the subline bitmaps are disjoint.
+        let mut agg = ProfileAgg::new(map_one_alloc(512));
+        for round in 0..4 {
+            for stripe in 0..8u64 {
+                let p = if stripe % 2 == 0 { 0 } else { 2 };
+                miss(&mut agg, p, 0x1000, stripe * 64 + (round % 4) * 8, true);
+            }
+        }
+        let h = agg.block(0x1000).unwrap();
+        assert!(!h.extents_disjoint(), "extents overlap by construction");
+        assert!(h.occupancy_disjoint(), "bitmaps separate the stripes");
+        assert_eq!(h.pattern(), SharingPattern::FalseShared);
+        let r = &agg.advise()[0];
+        assert_eq!(r.recommendation, Recommendation::Shrink(64));
+        assert!(r.evidence.contains("disjoint"));
+    }
+
+    #[test]
+    fn non_power_of_two_stripes_get_non_power_of_two_split() {
+        // 768 B block in 192 B stripes alternating between nodes: only a
+        // 192 B (non-power-of-two) split separates them.
+        let mut agg = ProfileAgg::new(map_one_alloc(768));
+        for round in 0..4 {
+            for stripe in 0..4u64 {
+                let p = if stripe % 2 == 0 { 0 } else { 2 };
+                miss(&mut agg, p, 0x1000, stripe * 192 + (round % 4) * 8, true);
+                miss(&mut agg, p, 0x1000, stripe * 192 + 184 - (round % 4) * 8, true);
+            }
+        }
+        let h = agg.block(0x1000).unwrap();
+        assert_eq!(h.pattern(), SharingPattern::FalseShared);
+        assert!(h.split_separates(192));
+        assert!(!h.split_separates(256));
+        let r = &agg.advise()[0];
+        assert_eq!(r.recommendation, Recommendation::Shrink(192));
+    }
+
+    #[test]
     fn alternating_whole_block_writers_are_migratory() {
         let mut agg = ProfileAgg::new(map_one_alloc(256));
         for round in 0..6 {
             let p = if round % 2 == 0 { 0 } else { 2 };
-            // Both nodes touch the same full range: overlapping extents.
+            // Both nodes touch the same full range: overlapping sublines.
             miss(&mut agg, p, 0x1000, 0, true);
             miss(&mut agg, p, 0x1000, 200, true);
         }
@@ -586,6 +937,21 @@ mod tests {
     }
 
     #[test]
+    fn grow_stops_where_merging_would_add_sharers() {
+        // Two runs of 2 contiguous 64 B blocks each owned by a different
+        // node: merging by 2 is harmless, merging by 4 would fuse the two
+        // owners into one shared block.
+        let mut agg = ProfileAgg::new(map_one_alloc(64));
+        for (b, p) in [(0x1000u64, 0u32), (0x1040, 0), (0x1080, 2), (0x10c0, 2)] {
+            miss(&mut agg, p, b, 0, true);
+            miss(&mut agg, p, b, 8, false);
+        }
+        let r = &agg.advise()[0];
+        assert_eq!(r.dominant(), SharingPattern::Private);
+        assert_eq!(r.recommendation, Recommendation::Grow(128), "evidence: {}", r.evidence);
+    }
+
+    #[test]
     fn miss_matrix_and_downgrades_accumulate_per_block() {
         let mut agg = ProfileAgg::new(map_one_alloc(256));
         agg.observe(
@@ -593,12 +959,58 @@ mod tests {
             &EventKind::MissResolved { block: 0x1000, kind: MissKind::Read, hops: Hops::Three },
         );
         agg.observe(1, &EventKind::DowngradeStart { block: 0x1000, to_invalid: true, targets: 3 });
+        agg.observe(1, &EventKind::DowngradeStart { block: 0x1000, to_invalid: false, targets: 1 });
+        agg.observe(1, &EventKind::DowngradeDone { block: 0x1000 });
         agg.observe(1, &EventKind::PrivateUpgrade { block: 0x1000 });
         agg.observe(1, &EventKind::MissMerged { block: 0x1000 });
         let h = agg.block(0x1000).unwrap();
         assert_eq!(h.miss_hops[0][1], 1);
-        assert_eq!((h.downgrades, h.downgrade_msgs), (1, 3));
+        assert_eq!((h.downgrades, h.downgrade_msgs), (2, 4));
+        assert_eq!(h.downgrades_to_invalid, 1);
+        assert_eq!(h.downgrade_resolutions, 1);
         assert_eq!((h.private_upgrades, h.merged), (1, 1));
+        let r = &agg.advise()[0];
+        assert_eq!((r.downgrades, r.downgrade_msgs, r.downgrades_to_invalid), (2, 4, 1));
+        assert_eq!(r.downgrade_resolutions, 1);
+        assert!((r.downgrade_fanout() - 2.0).abs() < 1e-9);
+        assert!(r.evidence.contains("fan-out"), "evidence: {}", r.evidence);
+    }
+
+    #[test]
+    fn message_bytes_attribute_to_sites_and_sync_traffic_is_skipped() {
+        let mut agg = ProfileAgg::new(map_one_alloc(256));
+        miss(&mut agg, 0, 0x1000, 0, false);
+        agg.observe(0, &EventKind::MsgSend { msg: "read-req", peer: 2, block: 0x1000 });
+        agg.observe(2, &EventKind::MsgSend { msg: "read-reply", peer: 0, block: 0x1000 });
+        agg.observe(0, &EventKind::MsgSend { msg: "barrier-arrive", peer: 2, block: 0 });
+        let h = agg.block(0x1000).unwrap();
+        assert_eq!((h.protocol_msgs, h.protocol_bytes), (2, 256));
+        assert!(agg.block(0).is_none(), "sync traffic must not create histories");
+        let r = &agg.advise()[0];
+        assert_eq!((r.protocol_msgs, r.protocol_bytes), (2, 256));
+        // One 8-byte touch rounds up to one 4 B subline... subline is 4 B
+        // for a 256 B block, so an 8-byte span covers 2-3 sublines.
+        assert!(r.useful_bytes >= 8 && r.useful_bytes <= 16, "useful {}", r.useful_bytes);
+        assert!(r.bytes_per_useful_byte() > 8.0);
+    }
+
+    #[test]
+    fn waste_ratio_triggers_split_without_false_shared_majority() {
+        // Two nodes read disjoint halves of a 512 B block (read-only, so it
+        // classifies read-mostly, not false-shared), each full-block reply
+        // hauling mostly untouched bytes: the waste ratio plus a separating
+        // split recommends shrinking.
+        let mut agg = ProfileAgg::new(map_one_alloc(512));
+        let b = 0x1000u64;
+        miss(&mut agg, 0, b, 0, false);
+        miss(&mut agg, 2, b, 256, false);
+        for _ in 0..20 {
+            agg.observe(0, &EventKind::MsgSend { msg: "read-reply", peer: 2, block: b });
+        }
+        let r = &agg.advise()[0];
+        assert_eq!(r.dominant(), SharingPattern::ReadMostly);
+        assert!(r.bytes_per_useful_byte() >= WASTE_SPLIT_RATIO);
+        assert_eq!(r.recommendation, Recommendation::Shrink(256), "evidence: {}", r.evidence);
     }
 
     #[test]
@@ -619,5 +1031,73 @@ mod tests {
         assert_eq!(m.block_bytes_of(0x1234), Some(256));
         assert!(m.same_phys(0, 1));
         assert!(!m.same_phys(1, 2));
+    }
+
+    fn map_one_block(block_bytes: u64) -> SpaceMap {
+        SpaceMap {
+            line_bytes: 64,
+            proc_phys_node: vec![0, 0, 1, 1],
+            proc_coh_node: vec![0, 0, 1, 1],
+            allocs: vec![AllocSite { start: 0x1000, len: block_bytes, block_bytes, label: "arr" }],
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig { cases: 48 })]
+
+        /// Interleaved-but-disjoint writer stripes classify false-shared
+        /// for any power-of-two stripe count and line-multiple stripe
+        /// width, whatever the in-stripe write offsets, and the advisor
+        /// always finds a line-multiple split that separates the writers.
+        #[test]
+        fn disjoint_stripes_classify_false_shared_with_separating_split(
+            stripes_pow in 1u32..6,
+            stripe_lines in 1u64..4,
+            offs in proptest::collection::vec(0u64..4096, 2..12),
+        ) {
+            let stripes = 1u64 << stripes_pow; // 2..32: divides SUBLINES, so
+            let stripe = stripe_lines * 64; //     stripes align with sublines
+            let bb = stripes * stripe;
+            let mut agg = ProfileAgg::new(map_one_block(bb));
+            for &o in &offs {
+                for s in 0..stripes {
+                    let p = if s % 2 == 0 { 0 } else { 2 };
+                    miss(&mut agg, p, 0x1000, s * stripe + o % (stripe - 7), true);
+                }
+            }
+            let h = agg.block(0x1000).unwrap();
+            proptest::prop_assert!(h.occupancy_disjoint());
+            proptest::prop_assert_eq!(h.pattern(), SharingPattern::FalseShared);
+            let r = &agg.advise()[0];
+            match r.recommendation {
+                Recommendation::Shrink(n) => {
+                    proptest::prop_assert!(n < bb && n % 64 == 0, "got {n} for {bb} B");
+                    proptest::prop_assert!(h.split_separates(n));
+                }
+                other => panic!("expected Shrink, got {other:?}"),
+            }
+        }
+
+        /// Writers whose footprints overlap in even one subline are never
+        /// classified false-shared, however much of the rest of the block
+        /// each node owns privately.
+        #[test]
+        fn overlapping_writers_never_classify_false_shared(
+            bb_lines in 1u64..33,
+            offs in proptest::collection::vec((0u64..4096, 0u32..2), 1..12),
+        ) {
+            let bb = bb_lines * 64;
+            let mut agg = ProfileAgg::new(map_one_block(bb));
+            // Both nodes write the first word: one shared subline.
+            miss(&mut agg, 0, 0x1000, 0, true);
+            miss(&mut agg, 2, 0x1000, 0, true);
+            for &(o, node) in &offs {
+                let p = if node == 0 { 0 } else { 2 };
+                miss(&mut agg, p, 0x1000, o % (bb - 7), true);
+            }
+            let h = agg.block(0x1000).unwrap();
+            proptest::prop_assert!(!h.occupancy_disjoint());
+            proptest::prop_assert_ne!(h.pattern(), SharingPattern::FalseShared);
+        }
     }
 }

@@ -6,7 +6,7 @@
 use crate::event::{Event, EventKind};
 use crate::fig4::Fig4Agg;
 use crate::profile::{ProfileAgg, SpaceMap};
-use crate::rederive::{MissAgg, MsgAgg};
+use crate::rederive::{DowngradeAgg, MissAgg, MsgAgg};
 
 /// Bounded ring of recent events for one processor. When full, the oldest
 /// event is overwritten and counted as dropped — the exported timeline is a
@@ -58,6 +58,7 @@ pub struct Recorder {
     rings: Vec<ProcRing>,
     agg: Fig4Agg,
     miss: MissAgg,
+    dg: DowngradeAgg,
     msg: Option<MsgAgg>,
     profile: Option<ProfileAgg>,
     /// Events staged in global record order and replayed through the
@@ -85,6 +86,7 @@ impl Recorder {
             rings: (0..procs).map(|_| ProcRing::new(ring_capacity)).collect(),
             agg: Fig4Agg::new(procs),
             miss: MissAgg::default(),
+            dg: DowngradeAgg::default(),
             msg: None,
             profile: None,
             staged: Vec::with_capacity(STAGE_CAPACITY),
@@ -133,6 +135,7 @@ impl Recorder {
                 self.agg.observe_slice(e.proc, e.t, cat, cycles);
             }
             self.miss.observe(&e.kind);
+            self.dg.observe(&e.kind);
             if let Some(msg) = &mut self.msg {
                 msg.observe(e.proc, &e.kind);
             }
@@ -160,6 +163,7 @@ impl Recorder {
                 .collect(),
             agg: self.agg,
             miss: self.miss,
+            dg: self.dg,
             msg: self.msg,
             profile: self.profile,
         }
@@ -182,6 +186,7 @@ pub struct EventLog {
     procs: Vec<ProcEvents>,
     agg: Fig4Agg,
     miss: MissAgg,
+    dg: DowngradeAgg,
     msg: Option<MsgAgg>,
     profile: Option<ProfileAgg>,
 }
@@ -221,6 +226,11 @@ impl EventLog {
     /// The event-derived Figure 6 miss counters (streamed, run-wide).
     pub fn misses(&self) -> &MissAgg {
         &self.miss
+    }
+
+    /// The event-derived Figure 8 downgrade counters (streamed, run-wide).
+    pub fn downgrades(&self) -> &DowngradeAgg {
+        &self.dg
     }
 
     /// The event-derived Figure 7 message counters, if a [`SpaceMap`] was

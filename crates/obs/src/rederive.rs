@@ -5,11 +5,15 @@
 //! `private-upgrade` and `miss-merged` events; [`MsgAgg`] rebuilds
 //! [`MsgStats`] from `msg-send` events plus the [`SpaceMap`] (message class
 //! follows physical placement exactly as in the network layer, and reply
-//! payloads are whole blocks). Both are streamed at record time, so ring
-//! eviction cannot lose counts, and both offer a `crosscheck` that demands
+//! payloads are whole blocks), keeping a per-message-kind count/byte table
+//! on the side; [`DowngradeAgg`] rebuilds the Figure 8 [`DowngradeHist`]
+//! from `downgrade-start` events. All are streamed at record time, so ring
+//! eviction cannot lose counts, and all offer a `crosscheck` that demands
 //! **exact** equality against the engine's own counters.
 
-use shasta_stats::{Hops, MissKind, MissStats, MsgClass, MsgStats};
+use std::collections::BTreeMap;
+
+use shasta_stats::{DowngradeHist, Hops, MissKind, MissStats, MsgClass, MsgStats};
 
 use crate::event::EventKind;
 use crate::profile::SpaceMap;
@@ -78,12 +82,13 @@ impl MissAgg {
 pub struct MsgAgg {
     map: SpaceMap,
     stats: MsgStats,
+    kinds: BTreeMap<&'static str, (u64, u64)>,
 }
 
 impl MsgAgg {
     /// An aggregator classifying against the given space snapshot.
     pub fn new(map: SpaceMap) -> Self {
-        MsgAgg { map, stats: MsgStats::default() }
+        MsgAgg { map, stats: MsgStats::default(), kinds: BTreeMap::new() }
     }
 
     /// Feeds one event recorded on processor `p`.
@@ -102,12 +107,23 @@ impl MsgAgg {
                 0
             };
             self.stats.record(class, payload);
+            let e = self.kinds.entry(msg).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += payload;
         }
     }
 
     /// The rederived counters.
     pub fn stats(&self) -> &MsgStats {
         &self.stats
+    }
+
+    /// Per-message-kind `(count, payload bytes)` totals in label order.
+    /// Sums across kinds equal the class totals in [`stats`](Self::stats)
+    /// by construction (each send is charged to exactly one kind and one
+    /// class).
+    pub fn by_kind(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        self.kinds.iter().map(|(&k, &(n, b))| (k, n, b))
     }
 
     /// Compares the event-derived counters against the engine's, demanding
@@ -122,6 +138,86 @@ impl MsgAgg {
             if e != d {
                 return Err(format!("{} payload bytes: engine {e}, events {d}", class.label()));
             }
+        }
+        Ok(())
+    }
+}
+
+/// Streaming reconstruction of the Figure 8 [`DowngradeHist`] from
+/// `downgrade-start` events, plus the direction split (exclusive→shared vs
+/// exclusive→invalid) and pending-downgrade resolutions the engine's
+/// histogram does not keep.
+///
+/// The engine records `downgrades.record(targets)` at the same point it
+/// emits `downgrade-start`, so parity is 1:1 — including zero-target
+/// downgrades (nothing to flush, bucket 0).
+#[derive(Clone, Debug, Default)]
+pub struct DowngradeAgg {
+    hist: DowngradeHist,
+    to_shared: u64,
+    to_invalid: u64,
+    resolutions: u64,
+    acks: u64,
+}
+
+impl DowngradeAgg {
+    /// Feeds one event.
+    pub fn observe(&mut self, kind: &EventKind) {
+        match *kind {
+            EventKind::DowngradeStart { to_invalid, targets, .. } => {
+                self.hist.record(targets as usize);
+                if to_invalid {
+                    self.to_invalid += 1;
+                } else {
+                    self.to_shared += 1;
+                }
+            }
+            EventKind::DowngradeAck { .. } => self.acks += 1,
+            EventKind::DowngradeDone { .. } => self.resolutions += 1,
+            _ => {}
+        }
+    }
+
+    /// The rederived Figure 8 histogram.
+    pub fn hist(&self) -> &DowngradeHist {
+        &self.hist
+    }
+
+    /// Downgrades that left the block shared (exclusive→shared).
+    pub fn to_shared(&self) -> u64 {
+        self.to_shared
+    }
+
+    /// Downgrades that invalidated the block (exclusive→invalid).
+    pub fn to_invalid(&self) -> u64 {
+        self.to_invalid
+    }
+
+    /// Pending downgrades resolved (`downgrade-done` events, §3.4.3).
+    pub fn resolutions(&self) -> u64 {
+        self.resolutions
+    }
+
+    /// Downgrade acknowledgements observed.
+    pub fn acks(&self) -> u64 {
+        self.acks
+    }
+
+    /// Compares the event-derived histogram against the engine's, demanding
+    /// exact equality in every bucket.
+    pub fn crosscheck(&self, engine: &DowngradeHist) -> Result<(), String> {
+        for i in 0..DowngradeHist::BUCKETS {
+            let (e, d) = (engine.count(i), self.hist.count(i));
+            if e != d {
+                return Err(format!("downgrades with {i} msgs: engine {e}, events {d}"));
+            }
+        }
+        if engine.total() != self.hist.total() {
+            return Err(format!(
+                "downgrade total: engine {}, events {}",
+                engine.total(),
+                self.hist.total()
+            ));
         }
         Ok(())
     }
@@ -168,6 +264,7 @@ mod tests {
         let map = SpaceMap {
             line_bytes: 64,
             proc_phys_node: vec![0, 0, 1, 1],
+            proc_coh_node: vec![0, 0, 1, 1],
             allocs: vec![AllocSite { start: 0x1000, len: 1_024, block_bytes: 256, label: "a" }],
         };
         let mut agg = MsgAgg::new(map);
@@ -192,8 +289,52 @@ mod tests {
     }
 
     #[test]
+    fn msg_agg_kind_table_sums_to_class_totals() {
+        let map = SpaceMap {
+            line_bytes: 64,
+            proc_phys_node: vec![0, 1],
+            proc_coh_node: vec![0, 1],
+            allocs: vec![AllocSite { start: 0x1000, len: 1_024, block_bytes: 128, label: "a" }],
+        };
+        let mut agg = MsgAgg::new(map);
+        agg.observe(0, &EventKind::MsgSend { msg: "read-req", peer: 1, block: 0x1000 });
+        agg.observe(1, &EventKind::MsgSend { msg: "read-reply", peer: 0, block: 0x1000 });
+        agg.observe(1, &EventKind::MsgSend { msg: "read-reply", peer: 0, block: 0x1080 });
+        agg.observe(0, &EventKind::MsgSend { msg: "downgrade", peer: 1, block: 0x1000 });
+        let kinds: Vec<_> = agg.by_kind().collect();
+        assert_eq!(kinds, vec![("downgrade", 1, 0), ("read-reply", 2, 256), ("read-req", 1, 0)]);
+    }
+
+    #[test]
+    fn downgrade_agg_rebuilds_fig8_and_splits_direction() {
+        let mut agg = DowngradeAgg::default();
+        agg.observe(&EventKind::DowngradeStart { block: 0x1000, to_invalid: false, targets: 2 });
+        agg.observe(&EventKind::DowngradeAck { block: 0x1000, remaining: 1 });
+        agg.observe(&EventKind::DowngradeAck { block: 0x1000, remaining: 0 });
+        agg.observe(&EventKind::DowngradeDone { block: 0x1000 });
+        agg.observe(&EventKind::DowngradeStart { block: 0x1100, to_invalid: true, targets: 0 });
+        agg.observe(&EventKind::PollDrain { handled: 1 }); // ignored
+
+        let mut want = DowngradeHist::default();
+        want.record(2);
+        want.record(0);
+        assert!(agg.crosscheck(&want).is_ok());
+        assert_eq!((agg.to_shared(), agg.to_invalid()), (1, 1));
+        assert_eq!((agg.resolutions(), agg.acks()), (1, 2));
+
+        want.record(3);
+        let err = agg.crosscheck(&want).unwrap_err();
+        assert!(err.contains("3 msgs"), "{err}");
+    }
+
+    #[test]
     fn sync_messages_have_no_payload() {
-        let map = SpaceMap { line_bytes: 64, proc_phys_node: vec![0, 1], allocs: Vec::new() };
+        let map = SpaceMap {
+            line_bytes: 64,
+            proc_phys_node: vec![0, 1],
+            proc_coh_node: vec![0, 1],
+            allocs: Vec::new(),
+        };
         let mut agg = MsgAgg::new(map);
         agg.observe(0, &EventKind::MsgSend { msg: "barrier-arrive", peer: 1, block: 0 });
         assert_eq!(agg.stats().count(MsgClass::Remote), 1);

@@ -133,16 +133,27 @@ pub struct AdvisorRow {
     pub read_misses: u64,
     /// Write (and upgrade) misses attributed to the site.
     pub write_misses: u64,
+    /// Block downgrades attributed to the site (SMP-Shasta; 0 elsewhere).
+    pub downgrades: u64,
+    /// Mean downgrade messages per downgrade (Figure 8's per-site
+    /// analogue), rendered with one decimal.
+    pub downgrade_fanout: f64,
+    /// Protocol payload bytes moved per byte anyone touched (transfer
+    /// waste), rendered with one decimal.
+    pub bytes_per_useful: f64,
     /// Advisor verdict (e.g. `"split to 64 B"` or `"keep"`).
     pub recommendation: String,
 }
 
 /// Renders advisor rows as an aligned table:
 ///
-/// `site  block B  blocks  pattern  rd-miss  wr-miss  advice`.
+/// `site  block B  blocks  pattern  rd-miss  wr-miss  dgrades  fan-out
+/// B/useful  advice`.
 pub fn advisor_table(rows: &[AdvisorRow]) -> Table {
-    let mut t =
-        Table::new(vec!["site", "block B", "blocks", "pattern", "rd-miss", "wr-miss", "advice"]);
+    let mut t = Table::new(vec![
+        "site", "block B", "blocks", "pattern", "rd-miss", "wr-miss", "dgrades", "fan-out",
+        "B/useful", "advice",
+    ]);
     for r in rows {
         t.row(vec![
             r.label.clone(),
@@ -151,6 +162,9 @@ pub fn advisor_table(rows: &[AdvisorRow]) -> Table {
             r.pattern.clone(),
             r.read_misses.to_string(),
             r.write_misses.to_string(),
+            r.downgrades.to_string(),
+            format!("{:.1}", r.downgrade_fanout),
+            format!("{:.1}", r.bytes_per_useful),
             r.recommendation.clone(),
         ]);
     }
@@ -220,6 +234,9 @@ mod tests {
             pattern: "false-shared".into(),
             read_misses: 40,
             write_misses: 80,
+            downgrades: 12,
+            downgrade_fanout: 1.5,
+            bytes_per_useful: 3.2,
             recommendation: "split to 64 B".into(),
         }];
         let s = advisor_table(&rows).to_string();

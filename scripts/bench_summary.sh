@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tabulates every BENCH_*.json artifact at the repo root into one terminal
 # summary: the obs-overhead trajectory (one line per recorded run), the
-# sharing-advisor closed loop, and a generic scalar dump for any future
-# artifact. Read-only; uses only the Python standard library.
+# sharing-advisor closed loop, the advisor-sweep trajectory (auto vs hand
+# Table 2 hints), and a generic scalar dump for any future artifact.
+# Read-only; uses only the Python standard library.
 #
 # Usage: scripts/bench_summary.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
@@ -111,6 +112,32 @@ def sharing_advisor(doc):
     site_lines(s.get("sites", []))
 
 
+def advisor_sweep(doc):
+    runs = doc.get("runs")
+    if runs is None:  # tolerate a hand-made single-run file
+        runs = [doc]
+    print(f"{len(runs)} recorded sweep(s); per run: auto vs hand Table 2 hints")
+    for i, run in enumerate(runs, 1):
+        print(
+            f"  run #{i}: eval={run.get('eval_preset', '?')} "
+            f"profile={run.get('profile_preset', '?')} procs={run.get('procs', '?')} "
+            f"quick={run.get('quick', '?')} hand_improves={run.get('hand_improves', '?')} "
+            f"auto_matches={run.get('auto_matches_hand_improvement', '?')} "
+            f"auto_within_5pct={run.get('auto_within_5pct_of_hand', '?')}"
+        )
+    last = runs[-1].get("kernels", [])
+    if last:
+        print("  latest sweep, per kernel (cycles):")
+        w = max(len(k.get("name", "?")) for k in last)
+        for k in last:
+            print(
+                f"    {k.get('name', '?'):<{w}}  unhinted {k.get('cycles_unhinted', 0):>12} "
+                f"auto {k.get('cycles_auto', 0):>12} ({k.get('auto_delta_pct', 0):+6.1f}%) "
+                f"hand {k.get('cycles_hand', 0):>12} ({k.get('hand_delta_pct', 0):+6.1f}%) "
+                f"auto-vs-hand {k.get('auto_vs_hand_pct', 0):+6.1f}%"
+            )
+
+
 def generic(doc):
     def scalars(prefix, obj):
         for key, val in obj.items():
@@ -138,6 +165,8 @@ for path in sys.argv[1:]:
         host_perf(doc)
     elif path == "BENCH_sharing_advisor.json":
         sharing_advisor(doc)
+    elif path == "BENCH_advisor_sweep.json":
+        advisor_sweep(doc)
     else:
         generic(doc)
 print()

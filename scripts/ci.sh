@@ -56,6 +56,21 @@ cargo run --release -p shasta-bench --bin sharing_profile -- \
 test -s "$advisor_tmp" || { echo "advisor JSON is empty"; exit 1; }
 rm -f "$advisor_tmp"
 
+echo "==> advisor-sweep smoke (--quick) + hint-replay determinism"
+# Two profile->advise->replay sweeps must emit byte-identical hint files
+# (the advisor is deterministic, so persisted hints replay exactly), and
+# the binary itself asserts advise() twice per kernel agrees.
+sweep_tmp="$(mktemp /tmp/shasta-ci-sweep.XXXXXX.json)"
+hints_a="$(mktemp -d /tmp/shasta-ci-hints-a.XXXXXX)"
+hints_b="$(mktemp -d /tmp/shasta-ci-hints-b.XXXXXX)"
+cargo run --release -p shasta-bench --bin advisor_sweep -- \
+  --quick -j 0 --out "$sweep_tmp" --hints-dir "$hints_a" > /dev/null
+cargo run --release -p shasta-bench --bin advisor_sweep -- \
+  --quick -j 0 --out "$sweep_tmp" --hints-dir "$hints_b" > /dev/null
+diff -ru "$hints_a" "$hints_b" || { echo "hint replay is not deterministic"; exit 1; }
+test -s "$sweep_tmp" || { echo "advisor-sweep JSON is empty"; exit 1; }
+rm -rf "$sweep_tmp" "$hints_a" "$hints_b"
+
 echo "==> bounded schedule sweep (64 seeds, parallel, oracle validation included)"
 # 64 seeds x 5 scenarios x 2 policies = 640 schedules, plus the sweep
 # against both injected-bug variants; completes in seconds in release mode

@@ -16,7 +16,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Number of elements a [`vec`] strategy may generate: `n` (exact) or
+    /// Number of elements a [`vec()`] strategy may generate: `n` (exact) or
     /// `lo..hi` (half-open).
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
