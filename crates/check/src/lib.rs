@@ -43,6 +43,9 @@ use shasta_stats::RunStats;
 pub mod pool;
 
 pub use pool::{par_map, resolve_jobs};
+// The fault-injection and heterogeneous-topology vocabulary, re-exported so
+// checker callers (the bench bins, CI) need only this crate.
+pub use shasta_core::{FaultCounts, FaultPlan, NetProfile};
 
 /// Shared-heap size for checker machines (small kernels, lots of headroom).
 const HEAP_BYTES: u64 = 1 << 20;
@@ -79,6 +82,28 @@ pub enum Kernel {
     LockCounter,
 }
 
+/// Cluster-shape variants the checker sweeps beyond the paper's uniform
+/// machine. The default [`ClusterKind::Uniform`] is exactly the historical
+/// checker topology.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ClusterKind {
+    /// The paper's homogeneous cluster: uniform Memory Channel constants.
+    #[default]
+    Uniform,
+    /// Uniform constants, but routed through an explicitly installed
+    /// [`NetProfile`] — a negative control: runs must be bit-identical to
+    /// [`ClusterKind::Uniform`] (criterion (c) of the fault sweep).
+    UniformExplicit,
+    /// Asymmetric links: the last physical node's Memory Channel link has
+    /// 4x the per-byte occupancy and 3x the one-way latency in both
+    /// directions (a heterogeneous-machines cluster à la Cudennec).
+    AsymLinks,
+    /// Disaggregated shape: the last physical node is memory-only — it
+    /// hosts every block's home directory but runs no kernel body, so
+    /// barriers wait only for the compute processors.
+    MemoryHome,
+}
+
 /// One checkable configuration: a topology, a protocol mode, and a kernel.
 #[derive(Clone, Copy, Debug)]
 pub struct Scenario {
@@ -96,13 +121,32 @@ pub struct Scenario {
     pub kernel: Kernel,
     /// Rounds the kernel executes (the shrinking dimension).
     pub iters: u32,
+    /// Cluster-shape variant ([`ClusterKind::Uniform`] = the historical
+    /// checker topology).
+    pub cluster: ClusterKind,
+    /// Message-fault plan ([`FaultPlan::none`] = the reliable fabric; its
+    /// seed is mixed with the schedule seed per policy, so one plan
+    /// explores a different fault schedule under every swept seed).
+    pub fault: FaultPlan,
+}
+
+impl Scenario {
+    /// Processors that execute the kernel (all of them, except under
+    /// [`ClusterKind::MemoryHome`] where the last physical node's
+    /// processors only serve memory).
+    pub fn workers(&self) -> u32 {
+        match self.cluster {
+            ClusterKind::MemoryHome => self.procs - self.per_node,
+            _ => self.procs,
+        }
+    }
 }
 
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ({} procs, {}/node, clustering {}, {:?}, {:?} x{})",
+            "{} ({} procs, {}/node, clustering {}, {:?}, {:?} x{}",
             self.name,
             self.procs,
             self.per_node,
@@ -110,7 +154,28 @@ impl fmt::Display for Scenario {
             self.mode,
             self.kernel,
             self.iters
-        )
+        )?;
+        // Appended only when non-default, so renders of the historical
+        // scenarios stay byte-identical.
+        if self.cluster != ClusterKind::Uniform {
+            write!(f, ", {:?}", self.cluster)?;
+        }
+        if !self.fault.is_none() {
+            let p = &self.fault;
+            write!(
+                f,
+                ", faults[seed {} delay {}/{} dup {}/{} reorder {}/{} loss {}]",
+                p.seed,
+                p.delay_permille,
+                p.delay_window_cycles,
+                p.dup_permille,
+                p.dup_skew_cycles,
+                p.reorder_permille,
+                p.reorder_window_cycles,
+                p.loss_permille
+            )?;
+        }
+        write!(f, ")")
     }
 }
 
@@ -127,6 +192,8 @@ pub fn default_scenarios() -> Vec<Scenario> {
             mode: Mode::Smp,
             kernel: Kernel::FalseSharing,
             iters: 6,
+            cluster: ClusterKind::Uniform,
+            fault: FaultPlan::none(),
         },
         Scenario {
             name: "smp-2x2-tight-increment",
@@ -136,6 +203,8 @@ pub fn default_scenarios() -> Vec<Scenario> {
             mode: Mode::Smp,
             kernel: Kernel::TightIncrement,
             iters: 24,
+            cluster: ClusterKind::Uniform,
+            fault: FaultPlan::none(),
         },
         Scenario {
             name: "smp-4x2-rotating-owner",
@@ -145,6 +214,8 @@ pub fn default_scenarios() -> Vec<Scenario> {
             mode: Mode::Smp,
             kernel: Kernel::RotatingOwner,
             iters: 4,
+            cluster: ClusterKind::Uniform,
+            fault: FaultPlan::none(),
         },
         Scenario {
             name: "smp-2x2-lock-counter",
@@ -154,6 +225,8 @@ pub fn default_scenarios() -> Vec<Scenario> {
             mode: Mode::Smp,
             kernel: Kernel::LockCounter,
             iters: 8,
+            cluster: ClusterKind::Uniform,
+            fault: FaultPlan::none(),
         },
         Scenario {
             name: "base-4-false-sharing",
@@ -163,7 +236,38 @@ pub fn default_scenarios() -> Vec<Scenario> {
             mode: Mode::Base,
             kernel: Kernel::FalseSharing,
             iters: 6,
+            cluster: ClusterKind::Uniform,
+            fault: FaultPlan::none(),
         },
+    ]
+}
+
+/// The fault plans a correct protocol must *tolerate* (pass every oracle
+/// under): delay, duplication, reordering, and all three at once. Loss is
+/// deliberately absent — see [`loss_fault_plan`].
+pub fn tolerated_fault_plans(seed: u64) -> [(&'static str, FaultPlan); 4] {
+    [
+        ("delay", FaultPlan::delay(seed)),
+        ("duplicate", FaultPlan::duplicate(seed)),
+        ("reorder", FaultPlan::reorder(seed)),
+        ("chaos", FaultPlan::chaos(seed)),
+    ]
+}
+
+/// The loss plan, which the protocol **cannot** tolerate (it has no
+/// retransmit path): sweeps assert the liveness / quiescence oracles catch
+/// it with a replayable counterexample, rather than asserting it passes.
+pub fn loss_fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan::loss(seed)
+}
+
+/// Every cluster-shape variant the fault sweep crosses scenarios with.
+pub fn cluster_kinds() -> [ClusterKind; 4] {
+    [
+        ClusterKind::Uniform,
+        ClusterKind::UniformExplicit,
+        ClusterKind::AsymLinks,
+        ClusterKind::MemoryHome,
     ]
 }
 
@@ -206,6 +310,17 @@ pub struct RunCtx {
     shadow: Option<Vec<u8>>,
 }
 
+/// The seed a schedule policy explores (0 for the deterministic policy) —
+/// mixed into the fault seed so one [`FaultPlan`] explores a different
+/// fault schedule under every swept `(seed, policy)` pair.
+fn policy_seed(policy: SchedulePolicy) -> u64 {
+    match policy {
+        SchedulePolicy::Deterministic => 0,
+        SchedulePolicy::SeededRandom { seed } => seed,
+        SchedulePolicy::Chains { seed, .. } => seed,
+    }
+}
+
 /// Builds the machine for a scenario (shared by checked and unchecked runs).
 fn build_machine(
     s: &Scenario,
@@ -216,12 +331,41 @@ fn build_machine(
 ) -> Machine {
     let topo = Topology::new(s.procs, s.per_node, s.clustering)
         .unwrap_or_else(|e| panic!("bad scenario topology {s}: {e}"));
+    let nodes = topo.phys_nodes();
     let cfg = match s.mode {
         Mode::Smp => ProtocolConfig { bug, ..ProtocolConfig::smp() },
         Mode::Base => ProtocolConfig { bug, ..ProtocolConfig::base() },
         Mode::Hardware => ProtocolConfig { bug, ..ProtocolConfig::hardware() },
     };
-    let mut m = Machine::new(topo, CostModel::alpha_4100(), cfg, HEAP_BYTES);
+    let cost = CostModel::alpha_4100();
+    let mut m = Machine::new(topo, cost.clone(), cfg, HEAP_BYTES);
+    match s.cluster {
+        ClusterKind::Uniform => {}
+        ClusterKind::UniformExplicit => {
+            m.set_net_profile(NetProfile::uniform(nodes, &cost));
+        }
+        ClusterKind::AsymLinks => {
+            m.set_net_profile(
+                NetProfile::uniform(nodes, &cost)
+                    .scale_link_bandwidth(nodes - 1, 4)
+                    .scale_node_latency(nodes - 1, 3),
+            );
+        }
+        ClusterKind::MemoryHome => {
+            assert!(
+                s.procs > s.per_node,
+                "MemoryHome needs at least one compute node besides the memory node ({s})"
+            );
+            m.set_barrier_participants(s.workers());
+        }
+    }
+    if !s.fault.is_none() {
+        // Mix the policy's seed in (odd multiplier: a bijection on u64), so
+        // a seed sweep explores fault schedules as well as tie-breaks while
+        // each run stays a pure function of (scenario, policy).
+        let mixed = s.fault.seed ^ policy_seed(policy).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        m.set_fault_plan(s.fault.with_seed(mixed));
+    }
     m.set_schedule_policy(policy);
     if oracle {
         m.enable_oracle_with_buffer(ctx.shadow.take().unwrap_or_default());
@@ -305,15 +449,29 @@ pub fn replay_observed(
 }
 
 /// Allocates the slot array and builds one kernel body per processor.
+///
+/// Under [`ClusterKind::MemoryHome`] only the first [`Scenario::workers`]
+/// processors compute; the memory node's processors get empty bodies (they
+/// finish immediately but keep servicing home-directory messages), and the
+/// slot array is homed *on the memory node* so every miss crosses to it.
+/// For every other cluster kind `workers == procs` and the arithmetic below
+/// is exactly the historical kernel.
 fn plan_kernel(m: &mut Machine, s: &Scenario) -> Vec<Box<dyn FnOnce(Dsm) + Send>> {
-    let procs = s.procs;
+    let procs = s.workers();
     let iters = s.iters;
-    let slots =
-        m.setup(|ctx| ctx.malloc(u64::from(procs) * 8, BlockHint::Line, HomeHint::Explicit(0)));
+    let home = match s.cluster {
+        ClusterKind::MemoryHome => HomeHint::Explicit(procs),
+        _ => HomeHint::Explicit(0),
+    };
+    let slots = m.setup(|ctx| ctx.malloc(u64::from(procs) * 8, BlockHint::Line, home));
     let slot = move |i: u32| slots + u64::from(i) * 8;
-    (0..procs)
+    (0..s.procs)
         .map(|p| {
             let kernel = s.kernel;
+            if p >= procs {
+                // Memory-node processor: no computation, just message service.
+                return Box::new(move |_dsm: Dsm| {}) as Box<dyn FnOnce(Dsm) + Send>;
+            }
             Box::new(move |mut dsm: Dsm| match kernel {
                 Kernel::FalseSharing => {
                     for r in 0..iters {
@@ -420,6 +578,10 @@ pub fn silence_expected_panics() {
 
 /// Runs a scenario with oracles on, converting a violation panic into a
 /// replayable [`Counterexample`].
+// The Err variant carries the violation message and scenario inline; it is
+// built at most once per failing run, so its size is irrelevant on the Ok
+// path and boxing it would only push indirection onto every consumer.
+#[allow(clippy::result_large_err)]
 pub fn run_checked(
     s: &Scenario,
     policy: SchedulePolicy,
@@ -430,6 +592,7 @@ pub fn run_checked(
 
 /// [`run_checked`] with a reusable [`RunCtx`], so sweeps recycle the oracle's
 /// shadow buffer across runs instead of re-allocating it each time.
+#[allow(clippy::result_large_err)]
 pub fn run_checked_ctx(
     s: &Scenario,
     policy: SchedulePolicy,
@@ -453,19 +616,22 @@ pub fn run_checked_ctx(
 /// Greedily shrinks a counterexample: repeatedly halve the kernel's round
 /// count while the *same* `(scenario, policy)` pair still fails, keeping
 /// the smallest failing run (fewer rounds ⇒ a shorter schedule and a
-/// tighter trace tail around the violation).
+/// tighter trace tail around the violation). When the scenario carries a
+/// fault plan, whole fault categories that are not needed to reproduce the
+/// failure are dropped too, then the rounds re-shrunk — the surviving
+/// categories name the delivery assumption the failure depends on.
 pub fn shrink(cx: &Counterexample) -> Counterexample {
     shrink_ctx(cx, &mut RunCtx::default())
 }
 
-/// [`shrink`] with a reusable [`RunCtx`] for its re-runs.
-pub fn shrink_ctx(cx: &Counterexample, ctx: &mut RunCtx) -> Counterexample {
-    let mut best = cx.clone();
-    let mut iters = cx.scenario.iters;
+/// One halving pass over the round count, starting from `best`.
+fn shrink_iters(best: Counterexample, ctx: &mut RunCtx) -> Counterexample {
+    let mut best = best;
+    let mut iters = best.scenario.iters;
     while iters > 1 {
         let half = iters / 2;
-        let candidate = Scenario { iters: half, ..cx.scenario };
-        match run_checked_ctx(&candidate, cx.policy, cx.bug, ctx) {
+        let candidate = Scenario { iters: half, ..best.scenario };
+        match run_checked_ctx(&candidate, best.policy, best.bug, ctx) {
             Err(smaller) => {
                 best = smaller;
                 iters = half;
@@ -474,6 +640,36 @@ pub fn shrink_ctx(cx: &Counterexample, ctx: &mut RunCtx) -> Counterexample {
         }
     }
     best
+}
+
+/// [`shrink`] with a reusable [`RunCtx`] for its re-runs.
+pub fn shrink_ctx(cx: &Counterexample, ctx: &mut RunCtx) -> Counterexample {
+    let mut best = shrink_iters(cx.clone(), ctx);
+    if best.scenario.fault.is_none() {
+        return best;
+    }
+    // Try dropping each fault category outright; keep any drop that still
+    // fails. Categories are independent RNG gates, so the greedy pass is
+    // sound (each accepted candidate is itself a verified counterexample).
+    type Zero = fn(FaultPlan) -> FaultPlan;
+    let zeros: [Zero; 4] = [
+        |p| FaultPlan { delay_permille: 0, delay_window_cycles: 0, ..p },
+        |p| FaultPlan { dup_permille: 0, dup_skew_cycles: 0, ..p },
+        |p| FaultPlan { reorder_permille: 0, reorder_window_cycles: 0, ..p },
+        |p| FaultPlan { loss_permille: 0, ..p },
+    ];
+    for zero in zeros {
+        let fault = zero(best.scenario.fault);
+        if fault == best.scenario.fault {
+            continue;
+        }
+        let candidate = Scenario { fault, ..best.scenario };
+        if let Err(smaller) = run_checked_ctx(&candidate, best.policy, best.bug, ctx) {
+            best = smaller;
+        }
+    }
+    // Fewer categories may allow fewer rounds.
+    shrink_iters(best, ctx)
 }
 
 /// Result of a seed sweep.

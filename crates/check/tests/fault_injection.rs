@@ -1,0 +1,138 @@
+//! Fault-injection and heterogeneous-topology checker tests.
+//!
+//! The contract under test (ISSUE 6):
+//!
+//! * **(a) tolerance** — delay, duplication, and reordering sweeps pass
+//!   every oracle on every default scenario (the receiver-side admit guard
+//!   models the Memory Channel's exactly-once in-order contract);
+//! * **(b) loss is caught** — loss has no retransmit path, so the liveness
+//!   / quiescence oracles must flag it, and the resulting counterexample
+//!   must replay bit-exactly and shrink;
+//! * **(c) negative controls** — disabled fault plans and explicit uniform
+//!   profiles leave runs *byte-identical* to the historical checker.
+
+use shasta_check::{
+    cluster_kinds, default_scenarios, loss_fault_plan, run_checked, run_scenario_traced, shrink,
+    silence_expected_panics, sweep_jobs, tolerated_fault_plans, ClusterKind, FaultPlan, Scenario,
+};
+use shasta_core::BugInjection;
+use shasta_sim::SchedulePolicy;
+
+/// (c): a fault plan with every category disabled must not perturb the run
+/// in any way — same stats *and* same event trace, for every scenario.
+#[test]
+fn disabled_fault_plan_is_byte_identical_to_baseline() {
+    for s in default_scenarios() {
+        let policy = SchedulePolicy::SeededRandom { seed: 5 };
+        let (base_stats, base_trace) = run_scenario_traced(&s, policy, BugInjection::None);
+        // A nonzero seed with all categories off must still be inert.
+        let inert = Scenario { fault: FaultPlan { seed: 0xDEAD_BEEF, ..FaultPlan::none() }, ..s };
+        let (stats, trace) = run_scenario_traced(&inert, policy, BugInjection::None);
+        assert_eq!(base_stats, stats, "{s}: disabled faults changed the statistics");
+        assert_eq!(base_trace, trace, "{s}: disabled faults changed the schedule");
+    }
+}
+
+/// (c): routing the uniform Memory Channel constants through an explicitly
+/// installed `NetProfile` must be bit-identical to no profile at all.
+#[test]
+fn uniform_explicit_profile_is_byte_identical_to_uniform() {
+    for s in default_scenarios() {
+        let policy = SchedulePolicy::Chains { seed: 11, change_interval: 7 };
+        let (base_stats, base_trace) = run_scenario_traced(&s, policy, BugInjection::None);
+        let explicit = Scenario { cluster: ClusterKind::UniformExplicit, ..s };
+        let (stats, trace) = run_scenario_traced(&explicit, policy, BugInjection::None);
+        assert_eq!(base_stats, stats, "{s}: the uniform profile changed the statistics");
+        assert_eq!(base_trace, trace, "{s}: the uniform profile changed the schedule");
+    }
+}
+
+/// (a): the protocol tolerates delay, duplication, reordering, and all
+/// three at once, on every default scenario, across a few seeds.
+#[test]
+fn tolerated_faults_pass_all_oracles() {
+    silence_expected_panics();
+    for (label, plan) in tolerated_fault_plans(0) {
+        let scenarios: Vec<Scenario> =
+            default_scenarios().into_iter().map(|s| Scenario { fault: plan, ..s }).collect();
+        let report = sweep_jobs(&scenarios, 0..2, BugInjection::None, 1, 0);
+        for cx in &report.failures {
+            eprintln!("{cx}");
+        }
+        assert!(
+            report.failures.is_empty(),
+            "protocol must tolerate {label} faults; see counterexample above"
+        );
+    }
+}
+
+/// (a) on heterogeneous shapes: asymmetric links and a memory-only home
+/// node pass the oracles both clean and under chaos faults.
+#[test]
+fn heterogeneous_topologies_pass_with_and_without_faults() {
+    silence_expected_panics();
+    for cluster in [ClusterKind::AsymLinks, ClusterKind::MemoryHome] {
+        for fault in [FaultPlan::none(), FaultPlan::chaos(0)] {
+            let scenarios: Vec<Scenario> =
+                default_scenarios().into_iter().map(|s| Scenario { cluster, fault, ..s }).collect();
+            let report = sweep_jobs(&scenarios, 0..2, BugInjection::None, 1, 0);
+            for cx in &report.failures {
+                eprintln!("{cx}");
+            }
+            assert!(
+                report.failures.is_empty(),
+                "protocol must pass on {cluster:?} (fault: {})",
+                if fault.is_none() { "none" } else { "chaos" }
+            );
+        }
+    }
+}
+
+/// (b): loss without a retransmit path is *caught* — some seed produces a
+/// counterexample, its message names the violated delivery assumption, the
+/// replay is deterministic (same failure twice), and shrinking keeps a
+/// failing scenario while pinning the failure on the loss category.
+#[test]
+fn loss_is_caught_replayable_and_shrinkable() {
+    silence_expected_panics();
+    let scenarios: Vec<Scenario> = default_scenarios()
+        .into_iter()
+        .map(|s| Scenario { fault: loss_fault_plan(0), ..s })
+        .collect();
+    let report = sweep_jobs(&scenarios, 0..8, BugInjection::None, 1, 0);
+    let cx = report
+        .failures
+        .first()
+        .expect("10% message loss must be caught by the oracles within 8 seeds");
+    assert!(
+        cx.message.contains("violated assumption")
+            || cx.message.contains("lost")
+            || cx.message.contains("liveness")
+            || cx.message.contains("deadlock"),
+        "counterexample should name the failure mode, got:\n{}",
+        cx.message
+    );
+    // Replay determinism: the same (scenario, policy) pair fails with the
+    // same message, byte for byte.
+    let replayed = run_checked(&cx.scenario, cx.policy, cx.bug)
+        .expect_err("replaying a loss counterexample must fail again");
+    assert_eq!(cx.message, replayed.message, "loss counterexamples must replay bit-exactly");
+    // The shrunk scenario still carries loss (the one category the failure
+    // needs) and still fails.
+    let small = shrink(cx);
+    assert!(small.scenario.fault.loss_permille > 0, "shrinking must keep the loss category");
+    assert!(small.scenario.iters <= cx.scenario.iters);
+    run_checked(&small.scenario, small.policy, small.bug)
+        .expect_err("the shrunk loss counterexample must still fail");
+}
+
+/// Every cluster kind builds and completes a clean run (sanity for shapes
+/// not covered above).
+#[test]
+fn all_cluster_kinds_run_clean() {
+    for cluster in cluster_kinds() {
+        let s = Scenario { cluster, ..default_scenarios()[0] };
+        run_checked(&s, SchedulePolicy::SeededRandom { seed: 1 }, BugInjection::None)
+            .unwrap_or_else(|cx| panic!("clean run failed on {cluster:?}:\n{cx}"));
+    }
+}

@@ -29,7 +29,9 @@
 //! ```
 
 pub mod cost;
+pub mod profile;
 pub mod topology;
 
 pub use cost::CostModel;
+pub use profile::NetProfile;
 pub use topology::{NodeId, ProcId, Topology, TopologyError};

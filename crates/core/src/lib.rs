@@ -68,6 +68,10 @@ pub mod state;
 
 pub use api::Dsm;
 pub use protocol::{BugInjection, Machine, Mode, ProtocolConfig, SetupCtx};
+// Fault-injection and heterogeneous-topology surface, re-exported so the
+// checker and benches need no direct dependency on the fabric crates.
+pub use shasta_cluster::NetProfile;
+pub use shasta_memchan::{FaultCounts, FaultPlan};
 
 /// Whether this build records per-transition `block-state` events (the
 /// `obs-block-state` feature). Only the Chrome timeline exporter consumes

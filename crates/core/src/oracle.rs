@@ -257,9 +257,14 @@ impl Machine {
     /// replayable counterexample).
     pub(crate) fn oracle_violation(&self, p: u32, what: String) -> ! {
         let ops = self.oracle.as_ref().map(|o| o.observed_ops).unwrap_or(0);
+        let faults = if self.net.fault_active() {
+            format!("\n  injected faults: {}", self.net.fault_counts())
+        } else {
+            String::new()
+        };
         panic!(
             "coherence oracle violation at P{p} (after {ops} observed ops, {} sched steps): \
-             {what}\n{}",
+             {what}{faults}\n{}",
             self.sched.steps(),
             self.trace.render_tail(40),
         );

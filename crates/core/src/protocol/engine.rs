@@ -67,9 +67,13 @@ impl Machine {
         // `(time, proc)` key (so a locally-minimal run of one processor's ops
         // is exactly what a full rescan would pick), and neither a step limit
         // nor the oracle's periodic quiescent sweep is consulting the step
-        // counter that batched ops skip.
-        let fast_mode =
-            !self.sched.perturbs() && self.oracle.is_none() && self.step_limit.is_none();
+        // counter that batched ops skip. An installed fault plan also
+        // disables it: held-message releases from the admit guard can
+        // introduce new candidates mid-batch.
+        let fast_mode = !self.sched.perturbs()
+            && self.oracle.is_none()
+            && self.step_limit.is_none()
+            && !self.net.fault_active();
 
         loop {
             cands.clear();
@@ -167,16 +171,28 @@ impl Machine {
                     let env = self.pop_inbound(p).expect("scheduled message vanished");
                     let t = self.clocks[p as usize].max(env.arrival);
                     self.clocks[p as usize] = t;
-                    self.obs_event(
-                        p,
-                        shasta_obs::EventKind::MsgRecv {
-                            msg: env.msg.label(),
-                            peer: env.src,
-                            block: env.msg.block_start(),
-                        },
-                    );
-                    self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
-                    self.handle_message(p, env.src, env.msg);
+                    match self.net.admit(env, t) {
+                        Some(env) => {
+                            self.obs_event(
+                                p,
+                                shasta_obs::EventKind::MsgRecv {
+                                    msg: env.msg.label(),
+                                    peer: env.src,
+                                    block: env.msg.block_start(),
+                                },
+                            );
+                            self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                            self.handle_message(p, env.src, env.msg);
+                        }
+                        None => {
+                            // The delivery guard discarded a duplicate or
+                            // held an early message: the pop still cost a
+                            // dispatch, and a release may have changed
+                            // another processor's candidate.
+                            self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                            self.sched_dirty = true;
+                        }
+                    }
                 }
             }
 
@@ -226,6 +242,7 @@ impl Machine {
     /// node's shared incoming queue when load balancing is enabled.
     fn drain_messages(&mut self, p: u32) {
         let mut handled = 0u32;
+        let mut absorbed = false;
         let lb = self.cfg.load_balance_incoming;
         loop {
             let now = self.clocks[p as usize];
@@ -234,23 +251,38 @@ impl Machine {
                 _ => break,
             }
             let Some(env) = self.net.pop_any_earliest(p, lb) else { break };
-            handled += 1;
-            self.obs_event(
-                p,
-                shasta_obs::EventKind::MsgRecv {
-                    msg: env.msg.label(),
-                    peer: env.src,
-                    block: env.msg.block_start(),
-                },
-            );
-            self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
-            self.handle_message(p, env.src, env.msg);
+            match self.net.admit(env, now) {
+                Some(env) => {
+                    handled += 1;
+                    self.obs_event(
+                        p,
+                        shasta_obs::EventKind::MsgRecv {
+                            msg: env.msg.label(),
+                            peer: env.src,
+                            block: env.msg.block_start(),
+                        },
+                    );
+                    self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                    self.handle_message(p, env.src, env.msg);
+                }
+                None => {
+                    // Duplicate discarded or early message held: pay the
+                    // dispatch the pop cost, but the protocol never saw it.
+                    absorbed = true;
+                    self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                }
+            }
         }
         if handled > 0 {
             // Handling may have satisfied another processor's stall or queued
             // replies; force the run-ahead fast path back to a full rescan.
             self.sched_dirty = true;
             self.obs_event(p, shasta_obs::EventKind::PollDrain { handled });
+        }
+        if absorbed {
+            // A guard drop/hold (or a release it triggered) also changes
+            // candidates.
+            self.sched_dirty = true;
         }
     }
 
@@ -1054,7 +1086,7 @@ impl Machine {
             }
             Req::Barrier { id, .. } => {
                 self.charge(p, TimeCat::Sync, self.cost.hw_barrier_cycles);
-                let procs = self.topo.procs();
+                let procs = self.barrier_count();
                 let now = self.clocks[p as usize];
                 let info = self.barriers.entry(id).or_default();
                 info.arrived += 1;
@@ -1095,8 +1127,29 @@ impl Machine {
         }
         use std::fmt::Write as _;
         let _ = writeln!(diag, "  in-flight messages: {}", self.net.in_flight());
+        self.append_fault_diag(&mut diag);
         let _ = write!(diag, "{}", self.trace.render_tail(40));
         panic!("{diag}");
+    }
+
+    /// Appends the fault-injection tally (and, when messages were lost, the
+    /// broken-assumption note) to a panic diagnostic. No-op when no fault
+    /// plan is installed, keeping unfaulted diagnostics byte-identical.
+    fn append_fault_diag(&self, diag: &mut String) {
+        use std::fmt::Write as _;
+        if !self.net.fault_active() {
+            return;
+        }
+        let counts = self.net.fault_counts();
+        let _ = writeln!(diag, "  injected faults: {counts}");
+        let _ = writeln!(diag, "  held awaiting lost predecessor: {}", self.net.held_messages());
+        if counts.lost > 0 {
+            let _ = writeln!(
+                diag,
+                "  violated assumption: reliable exactly-once Memory Channel delivery (§2) — \
+                 the protocol has no retransmit path, so message loss cannot be tolerated"
+            );
+        }
     }
 
     fn deadlock_panic(&self, pool: &FiberPool<Req, Resp>) -> ! {
@@ -1113,6 +1166,7 @@ impl Machine {
         }
         use std::fmt::Write as _;
         let _ = writeln!(diag, "  in-flight messages: {}", self.net.in_flight());
+        self.append_fault_diag(&mut diag);
         for (v, t) in self.miss.iter().enumerate() {
             for e in t.iter() {
                 let _ = writeln!(

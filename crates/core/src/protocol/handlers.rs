@@ -985,7 +985,7 @@ impl Machine {
     fn handle_barrier_arrive(&mut self, mgr: u32, src: u32, id: u32) {
         debug_assert_eq!(mgr, 0, "barriers are managed at processor 0");
         self.pay(mgr, TimeCat::Message, self.cost.barrier_mgr_cycles);
-        let procs = self.topo.procs();
+        let procs = self.barrier_count();
         let info = self.barriers.entry(id).or_default();
         info.arrived += 1;
         info.waiting.push(src);

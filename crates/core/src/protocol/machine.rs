@@ -215,6 +215,10 @@ pub struct Machine {
     pub(crate) oracle: Option<Box<Oracle>>,
     /// Liveness budget: panic if a run exceeds this many scheduling steps.
     pub(crate) step_limit: Option<u64>,
+    /// Barrier population override for topologies where some processors
+    /// never compute (memory-only home nodes): barriers release once this
+    /// many processors arrive instead of `topo.procs()`.
+    pub(crate) barrier_participants: Option<u32>,
 }
 
 impl Machine {
@@ -294,6 +298,7 @@ impl Machine {
             sched_dirty: false,
             oracle: None,
             step_limit: None,
+            barrier_participants: None,
             topo,
             cost,
             cfg,
@@ -339,6 +344,51 @@ impl Machine {
     /// completion never fires shows up as budget exhaustion, not a hang).
     pub fn set_step_limit(&mut self, steps: u64) {
         self.step_limit = Some(steps);
+    }
+
+    /// Installs a seeded message-fault plan (delay / duplication /
+    /// reordering / opt-in loss) at the network delivery boundary; see
+    /// [`FaultPlan`](shasta_memchan::FaultPlan). An all-disabled plan
+    /// installs nothing, leaving runs byte-identical to an unfaulted
+    /// machine. Set before [`Machine::run`].
+    pub fn set_fault_plan(&mut self, plan: shasta_memchan::FaultPlan) {
+        self.net.set_fault_plan(plan);
+    }
+
+    /// Fault-injection tally for diagnostics and sweep reports (all zero
+    /// when no plan is installed).
+    pub fn fault_counts(&self) -> shasta_memchan::FaultCounts {
+        self.net.fault_counts()
+    }
+
+    /// Installs a heterogeneous link profile (per-node bandwidth, per-pair
+    /// latency) in place of the cost model's uniform Memory Channel
+    /// constants. A [`NetProfile::uniform`](shasta_cluster::NetProfile)
+    /// profile reproduces the unprofiled machine bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's shape does not match the topology.
+    pub fn set_net_profile(&mut self, profile: shasta_cluster::NetProfile) {
+        self.net.set_profile(profile);
+    }
+
+    /// Overrides how many processors a barrier waits for (default: all of
+    /// them). Heterogeneous sweeps use this for memory-only home nodes
+    /// whose processors serve the directory but never enter the computation
+    /// (they run no kernel body, so they never arrive at barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the processor count.
+    pub fn set_barrier_participants(&mut self, n: u32) {
+        assert!(n > 0 && n <= self.topo.procs(), "barrier population must be in 1..=procs");
+        self.barrier_participants = Some(n);
+    }
+
+    /// The number of arrivals that releases a barrier.
+    pub(crate) fn barrier_count(&self) -> u32 {
+        self.barrier_participants.unwrap_or_else(|| self.topo.procs())
     }
 
     /// Enables bounded event tracing (diagnostics).

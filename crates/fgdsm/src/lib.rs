@@ -99,6 +99,13 @@ pub struct Config {
     /// remote data and writing flag values, in microseconds of forced sleep
     /// (test aid; 0 disables the widening).
     pub naive_race_spin: u32,
+    /// Injected cross-node transfer delay in microseconds: every inter-node
+    /// line copy sleeps this long *after* the downgrade handshake and
+    /// *before* reading the source data. The §3.3 discipline is
+    /// delay-invariant — the handshake already quiesced every writer, so an
+    /// arbitrarily slow "wire" changes timing but never outcomes (test aid;
+    /// 0 disables the delay).
+    pub transfer_delay_us: u32,
     /// Inline accesses between automatic polls (the paper's loop back-edge
     /// polling; every access path polls after this many operations).
     pub poll_interval: u32,
@@ -112,6 +119,7 @@ impl Default for Config {
             words: 1_024,
             mode: Mode::Downgrade,
             naive_race_spin: 0,
+            transfer_delay_us: 0,
             poll_interval: 64,
         }
     }
@@ -551,6 +559,14 @@ impl<'a> Handle<'a> {
         // Copy the data (after all downgrades have been acknowledged, so
         // in-flight local stores on the source node are included).
         if src != me {
+            if inner.cfg.transfer_delay_us > 0 {
+                // Injected cross-box delay between the handshake and the
+                // copy — the window a handshake-free protocol would lose
+                // stores in. §3.3 has already quiesced every writer here.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    inner.cfg.transfer_delay_us as u64,
+                ));
+            }
             inner.transfers.fetch_add(1, Ordering::Relaxed);
             let base = line * LINE_WORDS;
             for w in 0..LINE_WORDS {

@@ -1,0 +1,142 @@
+//! Real-thread mirror of `tests/figure2_model.rs` under injected cross-box
+//! delay: the exhaustive model proves the §3.3 downgrade discipline loses no
+//! store in *any* interleaving, and in particular in none of the
+//! interleavings a slow inter-node wire makes likely. Here OS threads walk
+//! the same check-then-store sequence while the line migrates over a
+//! "network" slowed by [`Config::transfer_delay_us`], and the outcome must
+//! be identical at every delay — the downgrade sequence (message → poll →
+//! ack → copy → invalidate) is delay-invariant because the handshake, not
+//! timing luck, is what closes the Figure 2(a) window.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use shasta_fgdsm::{Config, FgDsm, Mode, INVALID_FLAG, LINE_WORDS};
+
+/// The figure-2 shape at one delay: node 0's threads run the inline
+/// check-then-store loop on their own words of a single contended line while
+/// node 1 keeps stealing it exclusively (each steal downgrades the in-flight
+/// writers, copies the data across the delayed wire, and flags node 0's
+/// copy). Returns the final per-word counters.
+fn steal_under_delay(delay_us: u32, iters: u32) -> Vec<u32> {
+    let writers = 3u32;
+    let cfg = Config {
+        nodes: 2,
+        threads_per_node: writers,
+        words: LINE_WORDS,
+        mode: Mode::Downgrade,
+        transfer_delay_us: delay_us,
+        poll_interval: 4,
+        ..Config::default()
+    };
+    let dsm = FgDsm::new(cfg);
+    let steals = AtomicU32::new(0);
+    dsm.run(|h| {
+        let me = h.thread() as usize;
+        h.barrier();
+        if h.node() == 0 {
+            for i in 0..iters {
+                if i % 512 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(30));
+                }
+                let v = h.load(me);
+                h.store(me, v.wrapping_add(1));
+            }
+        } else if h.thread() == 0 {
+            // Node 1 steals the line exclusively a few times mid-hammer, so
+            // every steal's delayed copy-out races live inline stores.
+            for s in 0..6u32 {
+                std::thread::sleep(std::time::Duration::from_micros(400));
+                let v = h.load(LINE_WORDS - 1);
+                h.store(LINE_WORDS - 1, v.wrapping_add(1));
+                steals.fetch_add(1, Ordering::Relaxed);
+                let _ = s;
+            }
+        }
+        h.barrier();
+    });
+    assert!(steals.load(Ordering::Relaxed) > 0, "the line never migrated");
+    let out = std::sync::Mutex::new(vec![0u32; writers as usize]);
+    dsm.run(|h| {
+        if h.node() == 0 && h.thread() == 0 {
+            let mut o = out.lock().unwrap();
+            for (w, slot) in o.iter_mut().enumerate() {
+                *slot = h.load(w);
+            }
+        }
+    });
+    out.into_inner().unwrap()
+}
+
+/// The model's `downgrade_discipline_never_loses_a_store`, physically, at
+/// every injected delay: per-word single-writer counters must be exact no
+/// matter how slow the inter-node transfer is. A protocol that relied on the
+/// transfer winning a race (instead of on the handshake) would start losing
+/// stores as the delay grows.
+#[test]
+fn downgrade_outcome_is_transfer_delay_invariant() {
+    let iters = 4_096u32;
+    for delay_us in [0u32, 200, 2_000] {
+        let finals = steal_under_delay(delay_us, iters);
+        for (w, v) in finals.iter().enumerate() {
+            assert_eq!(
+                *v, iters,
+                "word {w} lost increments at transfer_delay_us={delay_us} \
+                 (the downgrade sequence is not delay-invariant)"
+            );
+        }
+    }
+}
+
+/// The model's `checks_after_downgrade_handling_fail`, physically: readers
+/// pulling a delayed shared copy never observe a flag value or a torn /
+/// regressing counter, at any delay — the copy happens strictly after the
+/// writers' acknowledgements regardless of wire latency.
+#[test]
+fn delayed_shared_copies_are_never_stale_or_torn() {
+    for delay_us in [0u32, 1_000] {
+        let cfg = Config {
+            nodes: 2,
+            threads_per_node: 2,
+            words: LINE_WORDS,
+            mode: Mode::Downgrade,
+            transfer_delay_us: delay_us,
+            poll_interval: 4,
+            ..Config::default()
+        };
+        let dsm = FgDsm::new(cfg);
+        let iters = 3_000u32;
+        dsm.run(|h| {
+            h.barrier();
+            if h.node() == 0 && h.thread() == 0 {
+                for i in 1..=iters {
+                    if i % 512 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(30));
+                    }
+                    h.store(0, i);
+                }
+            } else if h.node() == 1 {
+                let mut last = 0u32;
+                for i in 0..400 {
+                    if i % 64 == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                    let v = h.load(0);
+                    assert_ne!(
+                        v, INVALID_FLAG,
+                        "flag value escaped through a delayed transfer (delay {delay_us}us)"
+                    );
+                    assert!(
+                        v >= last,
+                        "delayed copy re-exposed a stale value: {v} < {last} (delay {delay_us}us)"
+                    );
+                    last = v;
+                }
+            }
+            h.barrier();
+            if h.node() == 0 && h.thread() == 0 {
+                assert_eq!(h.load(0), iters, "the final store was lost (delay {delay_us}us)");
+            }
+        });
+        assert!(dsm.stats().line_transfers > 0, "the line never crossed nodes");
+    }
+}

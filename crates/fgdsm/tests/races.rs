@@ -21,6 +21,7 @@ fn hammer_own_words(mode: Mode, iters: u32, spin: u32) -> (Vec<u32>, u64) {
         mode,
         naive_race_spin: spin,
         poll_interval: 4,
+        ..Config::default()
     };
     let dsm = FgDsm::new(cfg);
     let performed = AtomicU64::new(0);
@@ -93,6 +94,7 @@ fn naive_downgrades_lose_stores() {
             mode: Mode::Naive,
             naive_race_spin: 5_000, // 5 ms window
             poll_interval: 4,
+            ..Config::default()
         };
         let dsm = FgDsm::new(cfg);
         let iters = 50_000u32;

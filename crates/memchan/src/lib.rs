@@ -20,6 +20,29 @@
 //! The network is owned and driven entirely by the single-threaded protocol
 //! engine; receivers *poll* (§2.1), so the network never pushes.
 //!
+//! # Fault injection and heterogeneous links
+//!
+//! The paper's Memory Channel delivers messages reliably, exactly once, in
+//! per-pair order, over uniform links — assumptions §2 takes for granted.
+//! Two opt-in layers let the checker probe what happens when they bend:
+//!
+//! * a seeded [`FaultPlan`] (installed with [`Network::set_fault_plan`])
+//!   perturbs *remote* messages at the delivery boundary — extra delay,
+//!   duplication, reordering, and (opt-in) loss — while a receiver-side
+//!   guard, [`Network::admit`], models the fabric's exactly-once in-order
+//!   contract by discarding duplicates and holding early messages until
+//!   their per-pair predecessors arrive. Loss has no retransmit path, so a
+//!   lost message leaves its successors held forever: the liveness /
+//!   quiescence oracles catch it, which is the point.
+//! * a [`NetProfile`] (installed with [`Network::set_profile`]) replaces the
+//!   two uniform Memory Channel constants with per-node link bandwidth and
+//!   per-pair one-way latency; [`NetProfile::uniform`] is bit-identical to
+//!   no profile at all.
+//!
+//! With no plan installed (the default) the fault path is completely inert:
+//! no RNG is seeded, no sequence numbers are stamped, and [`Network::admit`]
+//! passes every message through untouched.
+//!
 //! # Example
 //!
 //! ```
@@ -46,8 +69,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use shasta_cluster::{CostModel, Topology};
-use shasta_sim::Time;
+use serde::{Deserialize, Serialize};
+use shasta_cluster::{CostModel, NetProfile, Topology};
+use shasta_sim::{SplitMix64, Time};
 use shasta_stats::{MsgClass, MsgStats};
 
 /// A message in flight or queued at its destination.
@@ -66,6 +90,190 @@ pub struct Envelope<M> {
     /// The protocol message itself.
     pub msg: M,
     seq: u64,
+    /// Per-(src node, dst node) stream position, stamped only while a fault
+    /// plan is installed (0 = unsequenced: local message or fault-free run).
+    /// Drives the exactly-once in-order guard in [`Network::admit`].
+    pair_seq: u64,
+    /// Whether the message was routed through the destination's shared
+    /// virtual-node inbox (so a held copy is re-enqueued to the same place).
+    via_vnode: bool,
+}
+
+/// A deterministic, seeded recipe for injecting message-level faults at the
+/// Memory Channel delivery boundary. Probabilities are per *remote* message
+/// in permille (‰); a category with probability 0 draws no randomness, and a
+/// plan whose categories are all 0 ([`FaultPlan::is_none`]) leaves the
+/// network's fault path entirely uninstalled — the negative control.
+///
+/// Everything is a pure function of the plan plus the (deterministic) order
+/// of sends, so any run under a plan is exactly replayable and any
+/// counterexample it produces shrinks like a schedule does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream (independent of the schedule seed).
+    pub seed: u64,
+    /// Per-message probability (‰) of extra delivery delay.
+    pub delay_permille: u64,
+    /// Maximum extra delay, in cycles (drawn uniformly from `[1, window)`).
+    pub delay_window_cycles: u64,
+    /// Per-message probability (‰) of the fabric delivering a second copy.
+    pub dup_permille: u64,
+    /// Maximum extra lateness of the duplicate copy, in cycles.
+    pub dup_skew_cycles: u64,
+    /// Per-message probability (‰) of reordering delay: enough extra
+    /// latency to push the message past its per-pair successors.
+    pub reorder_permille: u64,
+    /// Maximum reordering delay, in cycles (should exceed typical
+    /// inter-send gaps so inversions actually happen).
+    pub reorder_window_cycles: u64,
+    /// Per-message probability (‰) of silent loss. There is no retransmit
+    /// path: a lost message strands its per-pair successors in
+    /// [`Network::admit`]'s hold queue, which the liveness and quiescence
+    /// oracles then report.
+    pub loss_permille: u64,
+}
+
+impl FaultPlan {
+    /// The inert plan: no category enabled, nothing installed.
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            delay_permille: 0,
+            delay_window_cycles: 0,
+            dup_permille: 0,
+            dup_skew_cycles: 0,
+            reorder_permille: 0,
+            reorder_window_cycles: 0,
+            loss_permille: 0,
+        }
+    }
+
+    /// Whether every fault category is disabled (the plan is a no-op
+    /// regardless of its seed).
+    pub const fn is_none(&self) -> bool {
+        self.delay_permille == 0
+            && self.dup_permille == 0
+            && self.reorder_permille == 0
+            && self.loss_permille == 0
+    }
+
+    /// Delay-only preset: 25% of remote messages arrive up to 20k cycles
+    /// late (several Memory Channel one-way latencies).
+    pub const fn delay(seed: u64) -> Self {
+        FaultPlan { seed, delay_permille: 250, delay_window_cycles: 20_000, ..Self::none() }
+    }
+
+    /// Duplication-only preset: 20% of remote messages are delivered twice,
+    /// the copy up to 10k cycles later.
+    pub const fn duplicate(seed: u64) -> Self {
+        FaultPlan { seed, dup_permille: 200, dup_skew_cycles: 10_000, ..Self::none() }
+    }
+
+    /// Reordering-only preset: 25% of remote messages are pushed up to 50k
+    /// cycles past their per-pair successors.
+    pub const fn reorder(seed: u64) -> Self {
+        FaultPlan { seed, reorder_permille: 250, reorder_window_cycles: 50_000, ..Self::none() }
+    }
+
+    /// Loss preset (opt-in, *expected to fail*): 10% of remote messages
+    /// vanish with no retransmit path.
+    pub const fn loss(seed: u64) -> Self {
+        FaultPlan { seed, loss_permille: 100, ..Self::none() }
+    }
+
+    /// Everything the protocol must tolerate at once: delay, duplication,
+    /// and reordering (no loss).
+    pub const fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_permille: 150,
+            delay_window_cycles: 20_000,
+            dup_permille: 100,
+            dup_skew_cycles: 10_000,
+            reorder_permille: 150,
+            reorder_window_cycles: 50_000,
+            loss_permille: 0,
+        }
+    }
+
+    /// The same plan with a different RNG seed.
+    #[must_use]
+    pub const fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Counters for every fault the network injected or absorbed, for panic
+/// diagnostics and sweep reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Remote messages given extra delivery delay.
+    pub delayed: u64,
+    /// Remote messages the fabric delivered twice.
+    pub duplicated: u64,
+    /// Copies discarded by the exactly-once guard in [`Network::admit`].
+    pub dups_dropped: u64,
+    /// Remote messages pushed past a per-pair successor.
+    pub reordered: u64,
+    /// Held messages released back in order by [`Network::admit`].
+    pub resequenced: u64,
+    /// Remote messages silently dropped (no retransmit path exists).
+    pub lost: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected at send time (not counting guard-side
+    /// absorption).
+    pub const fn injected(&self) -> u64 {
+        self.delayed + self.duplicated + self.reordered + self.lost
+    }
+}
+
+impl std::fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} delayed, {} duplicated ({} dropped), {} reordered ({} resequenced), {} lost",
+            self.delayed,
+            self.duplicated,
+            self.dups_dropped,
+            self.reordered,
+            self.resequenced,
+            self.lost
+        )
+    }
+}
+
+/// Live state of an installed fault plan: the RNG stream, per-pair send /
+/// deliver sequence counters, and the injection tally.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    counts: FaultCounts,
+    /// Last stamped per-stream sequence number, indexed
+    /// `src_node * nodes + dst_node`. Streams are keyed by *node pair*, not
+    /// processor pair: remote sends from one node serialize on its Memory
+    /// Channel link and arrive monotonically per destination node, so the
+    /// fabric ordering the protocol's home-serialization argument leans on
+    /// (e.g. an invalidation to one processor ordered before a reply to its
+    /// node mate) is node-to-node.
+    next_send: Vec<u64>,
+    /// Last *delivered* per-stream sequence number, same indexing.
+    next_deliver: Vec<u64>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, nodes: usize) -> Self {
+        FaultState {
+            rng: SplitMix64::new(plan.seed ^ 0x5EED_FA17_7E57_C0DE),
+            plan,
+            counts: FaultCounts::default(),
+            next_send: vec![0; nodes * nodes],
+            next_deliver: vec![0; nodes * nodes],
+        }
+    }
 }
 
 #[derive(PartialEq, Eq, Debug)]
@@ -103,12 +311,19 @@ pub struct Network<M> {
     node_inboxes: Vec<BinaryHeap<Queued<M>>>,
     /// Next time each physical node's Memory Channel link is free.
     link_free: Vec<Time>,
+    /// Heterogeneous link parameters; `None` = the cost model's uniform
+    /// constants.
+    profile: Option<NetProfile>,
+    /// Installed fault plan state; `None` = the fault path is inert.
+    fault: Option<FaultState>,
+    /// Messages held by [`Network::admit`] awaiting a per-pair predecessor.
+    stash: Vec<Envelope<M>>,
     stats: MsgStats,
     in_flight: usize,
     seq: u64,
 }
 
-impl<M: Eq> Network<M> {
+impl<M: Eq + Clone> Network<M> {
     /// Creates an empty network for the given topology and cost model.
     pub fn new(topo: Topology, cost: CostModel) -> Self {
         let procs = topo.procs() as usize;
@@ -120,6 +335,9 @@ impl<M: Eq> Network<M> {
             inboxes: (0..procs).map(|_| BinaryHeap::with_capacity(8)).collect(),
             node_inboxes: (0..vnodes).map(|_| BinaryHeap::with_capacity(8)).collect(),
             link_free: vec![Time::ZERO; nodes],
+            profile: None,
+            fault: None,
+            stash: Vec::new(),
             stats: MsgStats::default(),
             in_flight: 0,
             seq: 0,
@@ -134,6 +352,50 @@ impl<M: Eq> Network<M> {
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// Installs a heterogeneous link profile. [`NetProfile::uniform`] for
+    /// this topology's node count reproduces the unprofiled network
+    /// bit-exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile's shape does not match the topology.
+    pub fn set_profile(&mut self, profile: NetProfile) {
+        assert!(
+            profile.is_valid_for(self.topo.phys_nodes()),
+            "profile shape {}x nodes does not match topology ({} nodes)",
+            profile.nodes(),
+            self.topo.phys_nodes()
+        );
+        self.profile = Some(profile);
+    }
+
+    /// Installs a fault plan. A plan with every category disabled
+    /// ([`FaultPlan::is_none`]) leaves the fault path uninstalled, so runs
+    /// under it are byte-identical to runs that never called this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if plan.is_none() {
+            self.fault = None;
+        } else {
+            self.fault = Some(FaultState::new(plan, self.topo.phys_nodes() as usize));
+        }
+    }
+
+    /// Whether a (non-inert) fault plan is installed.
+    pub fn fault_active(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The injection tally so far (all zero when no plan is installed).
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.fault.as_ref().map(|f| f.counts).unwrap_or_default()
+    }
+
+    /// Messages currently held by [`Network::admit`] awaiting a per-pair
+    /// predecessor. Nonzero at quiescence means a predecessor was lost.
+    pub fn held_messages(&self) -> usize {
+        self.stash.len()
     }
 
     /// Sends `msg` from `src` to `dst` at time `now`, returning its arrival
@@ -175,28 +437,215 @@ impl<M: Eq> Network<M> {
             }
         };
 
-        let arrival = self.arrival_time(src, local, payload_bytes, now);
+        let arrival = self.arrival_time(src, dst, local, payload_bytes, now);
         self.stats.record(class, payload_bytes);
+        let (pair_seq, arrival, dup) = if local {
+            (0, arrival, None)
+        } else {
+            match self.apply_faults(src, dst, arrival) {
+                Some(outcome) => outcome,
+                // Lost on the wire: it occupied the link and was counted as
+                // sent, but never reaches an inbox.
+                None => return arrival,
+            }
+        };
         self.seq += 1;
         self.in_flight += 1;
-        let env = Envelope { src, dst, arrival, class, payload_bytes, msg, seq: self.seq };
-        self.inboxes[dst as usize].push(Queued { key: Reverse((arrival, self.seq)), env });
+        let env = Envelope {
+            src,
+            dst,
+            arrival,
+            class,
+            payload_bytes,
+            msg,
+            seq: self.seq,
+            pair_seq,
+            via_vnode: false,
+        };
+        if let Some(dup_arrival) = dup {
+            let mut copy = env.clone();
+            self.seq += 1;
+            self.in_flight += 1;
+            copy.arrival = dup_arrival;
+            copy.seq = self.seq;
+            self.inboxes[dst as usize]
+                .push(Queued { key: Reverse((dup_arrival, copy.seq)), env: copy });
+        }
+        self.inboxes[dst as usize].push(Queued { key: Reverse((arrival, env.seq)), env });
         arrival
     }
 
     /// Arrival time of a message leaving `src` at `now`: shared-memory wire
     /// cost when intra-node, otherwise Memory Channel link occupancy (remote
     /// messages serialize on the sender node's MC link for their per-byte
-    /// transmission time) plus one-way latency.
-    fn arrival_time(&mut self, src: u32, local: bool, payload_bytes: u64, now: Time) -> Time {
+    /// transmission time) plus one-way latency. An installed [`NetProfile`]
+    /// supplies per-node bandwidth and per-pair latency in place of the
+    /// cost model's uniform constants, through identical arithmetic.
+    fn arrival_time(
+        &mut self,
+        src: u32,
+        dst: u32,
+        local: bool,
+        payload_bytes: u64,
+        now: Time,
+    ) -> Time {
         if local {
             now + self.cost.wire_cycles(true, payload_bytes)
         } else {
             let node = usize::from(self.topo.phys_node_of(src));
+            let (per_byte, oneway) = match &self.profile {
+                Some(p) => {
+                    (p.per_byte[node], p.oneway[node][usize::from(self.topo.phys_node_of(dst))])
+                }
+                None => (self.cost.mc_per_byte_cycles, self.cost.mc_oneway_cycles),
+            };
             let depart = self.link_free[node].max(now);
-            let occupancy = self.cost.mc_per_byte_cycles * (payload_bytes + self.cost.header_bytes);
+            let occupancy = per_byte * (payload_bytes + self.cost.header_bytes);
             self.link_free[node] = depart + occupancy;
-            depart + occupancy + self.cost.mc_oneway_cycles
+            depart + occupancy + oneway
+        }
+    }
+
+    /// Applies the installed fault plan to one remote message: stamps its
+    /// per-pair sequence number and draws loss, delay, reordering, and
+    /// duplication in that fixed order. Returns `None` when the message is
+    /// lost, otherwise `(pair_seq, arrival, duplicate arrival)`. With no
+    /// plan installed this is a pass-through (`pair_seq` 0).
+    fn apply_faults(
+        &mut self,
+        src: u32,
+        dst: u32,
+        arrival: Time,
+    ) -> Option<(u64, Time, Option<Time>)> {
+        let nodes = u64::from(self.topo.phys_nodes());
+        let src_node = u64::from(self.topo.phys_node_of(src).0);
+        let dst_node = u64::from(self.topo.phys_node_of(dst).0);
+        let Some(fs) = self.fault.as_mut() else {
+            return Some((0, arrival, None));
+        };
+        let idx = (src_node * nodes + dst_node) as usize;
+        fs.next_send[idx] += 1;
+        let pair_seq = fs.next_send[idx];
+        let plan = fs.plan;
+        if plan.loss_permille > 0 && fs.rng.below(1000) < plan.loss_permille {
+            fs.counts.lost += 1;
+            return None;
+        }
+        let mut arrival = arrival;
+        if plan.delay_permille > 0 && fs.rng.below(1000) < plan.delay_permille {
+            arrival += fs.rng.range(1, plan.delay_window_cycles.max(2));
+            fs.counts.delayed += 1;
+        }
+        if plan.reorder_permille > 0 && fs.rng.below(1000) < plan.reorder_permille {
+            arrival += fs.rng.range(1, plan.reorder_window_cycles.max(2));
+            fs.counts.reordered += 1;
+        }
+        let dup = if plan.dup_permille > 0 && fs.rng.below(1000) < plan.dup_permille {
+            fs.counts.duplicated += 1;
+            Some(arrival + fs.rng.range(1, plan.dup_skew_cycles.max(2)))
+        } else {
+            None
+        };
+        Some((pair_seq, arrival, dup))
+    }
+
+    /// Receiver-side delivery guard modeling the Memory Channel's
+    /// exactly-once, per-pair-FIFO contract (§2). The engine calls this on
+    /// every popped message before dispatching it to the protocol:
+    ///
+    /// * a duplicate (its per-pair position was already delivered) is
+    ///   discarded,
+    /// * an *early* message — a predecessor in its pair stream is still in
+    ///   flight — is held, and re-enqueued into the destination's inbox
+    ///   once that predecessor is delivered,
+    /// * otherwise the message is released for dispatch.
+    ///
+    /// Unsequenced messages (local, or sent while no fault plan was
+    /// installed) always pass through. Held messages still count as
+    /// [`Network::in_flight`], so quiescence checks and engine termination
+    /// stay sound; a held message whose predecessor was *lost* is held
+    /// forever — exactly how the liveness oracle catches loss without a
+    /// retransmit path.
+    pub fn admit(&mut self, env: Envelope<M>, now: Time) -> Option<Envelope<M>> {
+        if env.pair_seq == 0 {
+            return Some(env);
+        }
+        let nodes = u64::from(self.topo.phys_nodes());
+        let src_node = u64::from(self.topo.phys_node_of(env.src).0);
+        let dst_node = u64::from(self.topo.phys_node_of(env.dst).0);
+        let idx = (src_node * nodes + dst_node) as usize;
+        enum Verdict {
+            Duplicate,
+            Hold,
+            Deliver,
+        }
+        let verdict = {
+            let fs = self.fault.as_mut().expect("sequenced message without an installed plan");
+            let expected = fs.next_deliver[idx] + 1;
+            if env.pair_seq < expected {
+                fs.counts.dups_dropped += 1;
+                Verdict::Duplicate
+            } else if env.pair_seq > expected {
+                Verdict::Hold
+            } else {
+                fs.next_deliver[idx] = expected;
+                Verdict::Deliver
+            }
+        };
+        match verdict {
+            Verdict::Duplicate => None,
+            Verdict::Hold => {
+                self.stash.push(env);
+                None
+            }
+            Verdict::Deliver => {
+                self.release_held(env.src, env.dst, now);
+                Some(env)
+            }
+        }
+    }
+
+    /// Re-enqueues any held message on the `(src node, dst node)` stream
+    /// whose turn has come (the stream's next position), and drops held
+    /// duplicates of already-delivered positions. Released messages get a
+    /// fresh global sequence number and an arrival no earlier than `now`,
+    /// and return to the inbox they were originally routed to.
+    fn release_held(&mut self, src: u32, dst: u32, now: Time) {
+        let nodes = u64::from(self.topo.phys_nodes());
+        let src_node = self.topo.phys_node_of(src);
+        let dst_node = self.topo.phys_node_of(dst);
+        let idx = (u64::from(src_node.0) * nodes + u64::from(dst_node.0)) as usize;
+        let next =
+            self.fault.as_ref().expect("held message without an installed plan").next_deliver[idx]
+                + 1;
+        let mut i = 0;
+        while i < self.stash.len() {
+            let e = &self.stash[i];
+            if !(self.topo.phys_node_of(e.src) == src_node
+                && self.topo.phys_node_of(e.dst) == dst_node
+                && e.pair_seq <= next)
+            {
+                i += 1;
+                continue;
+            }
+            let mut e = self.stash.swap_remove(i);
+            let fs = self.fault.as_mut().expect("checked above");
+            if e.pair_seq < next {
+                fs.counts.dups_dropped += 1;
+            } else {
+                fs.counts.resequenced += 1;
+                e.arrival = e.arrival.max(now);
+                self.seq += 1;
+                e.seq = self.seq;
+                self.in_flight += 1;
+                let key = Reverse((e.arrival, e.seq));
+                if e.via_vnode {
+                    let v = usize::from(self.topo.virt_node_of(e.dst));
+                    self.node_inboxes[v].push(Queued { key, env: e });
+                } else {
+                    self.inboxes[e.dst as usize].push(Queued { key, env: e });
+                }
+            }
         }
     }
 
@@ -247,13 +696,39 @@ impl<M: Eq> Network<M> {
     ) -> Time {
         let local = self.topo.same_phys_node(src, dst);
         let class = if local { MsgClass::Local } else { MsgClass::Remote };
-        let arrival = self.arrival_time(src, local, payload_bytes, now);
+        let arrival = self.arrival_time(src, dst, local, payload_bytes, now);
         self.stats.record(class, payload_bytes);
+        let (pair_seq, arrival, dup) = if local {
+            (0, arrival, None)
+        } else {
+            match self.apply_faults(src, dst, arrival) {
+                Some(outcome) => outcome,
+                None => return arrival,
+            }
+        };
         self.seq += 1;
         self.in_flight += 1;
-        let env = Envelope { src, dst, arrival, class, payload_bytes, msg, seq: self.seq };
+        let env = Envelope {
+            src,
+            dst,
+            arrival,
+            class,
+            payload_bytes,
+            msg,
+            seq: self.seq,
+            pair_seq,
+            via_vnode: true,
+        };
         let v = usize::from(self.topo.virt_node_of(dst));
-        self.node_inboxes[v].push(Queued { key: Reverse((arrival, self.seq)), env });
+        if let Some(dup_arrival) = dup {
+            let mut copy = env.clone();
+            self.seq += 1;
+            self.in_flight += 1;
+            copy.arrival = dup_arrival;
+            copy.seq = self.seq;
+            self.node_inboxes[v].push(Queued { key: Reverse((dup_arrival, copy.seq)), env: copy });
+        }
+        self.node_inboxes[v].push(Queued { key: Reverse((arrival, env.seq)), env });
         arrival
     }
 
@@ -307,9 +782,11 @@ impl<M: Eq> Network<M> {
         }
     }
 
-    /// Number of messages queued but not yet received.
+    /// Number of messages queued or held but not yet delivered. Held
+    /// messages (see [`Network::admit`]) count: they are logically still in
+    /// the fabric, which keeps quiescence checks sound under fault plans.
     pub fn in_flight(&self) -> usize {
-        self.in_flight
+        self.in_flight + self.stash.len()
     }
 
     /// Message statistics accumulated so far.
@@ -410,5 +887,155 @@ mod tests {
         assert_eq!(n.earliest_any(), None);
         assert_eq!(n.peek_arrival(0), None);
         assert_eq!(n.in_flight(), 0);
+    }
+
+    /// Pops everything for `dst` through the admit guard (re-polling after
+    /// releases) and returns the delivered payloads in order.
+    fn drain_admitted(n: &mut Network<u32>, dst: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(env) = n.pop_earliest(dst) {
+            let now = env.arrival;
+            if let Some(e) = n.admit(env, now) {
+                out.push(e.msg);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn inert_plan_installs_nothing() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan { seed: 99, ..FaultPlan::none() });
+        assert!(!n.fault_active());
+        let a = n.send(0, 4, 1, 64, Time::ZERO, None);
+        let mut reference = net();
+        let b = reference.send(0, 4, 1, 64, Time::ZERO, None);
+        assert_eq!(a, b, "a disabled plan must not perturb arrivals");
+        let env = n.pop_earliest(4).unwrap();
+        assert!(n.admit(env, a).is_some(), "unsequenced messages pass through");
+        assert_eq!(n.fault_counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn uniform_profile_is_bit_identical() {
+        let mut plain = net();
+        let mut profiled = net();
+        profiled.set_profile(NetProfile::uniform(2, &CostModel::alpha_4100()));
+        for (src, dst) in [(0, 4), (1, 5), (4, 0), (0, 1)] {
+            let a = plain.send(src, dst, src, 256, Time::ZERO, None);
+            let b = profiled.send(src, dst, src, 256, Time::ZERO, None);
+            assert_eq!(a, b, "uniform profile diverged for {src}->{dst}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_profile_slows_the_scaled_link() {
+        let cost = CostModel::alpha_4100();
+        let mut n = net();
+        n.set_profile(NetProfile::uniform(2, &cost).scale_node_latency(1, 3));
+        let into_slow = n.send(0, 4, 1, 0, Time::ZERO, None);
+        let mut reference = net();
+        let uniform = reference.send(0, 4, 1, 0, Time::ZERO, None);
+        assert_eq!(into_slow.cycles() - uniform.cycles(), 2 * cost.mc_oneway_cycles);
+    }
+
+    #[test]
+    fn delay_plan_is_deterministic_and_counted() {
+        let run = || {
+            let mut n = net();
+            n.set_fault_plan(FaultPlan { delay_permille: 1000, ..FaultPlan::delay(7) });
+            let arrivals: Vec<Time> =
+                (0..8).map(|i| n.send(0, 4, i, 64, Time::ZERO, None)).collect();
+            (arrivals, n.fault_counts())
+        };
+        let (a, counts_a) = run();
+        let (b, counts_b) = run();
+        assert_eq!(a, b, "same plan, same seed => same arrivals");
+        assert_eq!(counts_a, counts_b);
+        assert_eq!(counts_a.delayed, 8, "permille 1000 delays every remote message");
+        let mut reference = net();
+        let plain: Vec<Time> =
+            (0..8).map(|i| reference.send(0, 4, i, 64, Time::ZERO, None)).collect();
+        assert!(a.iter().zip(&plain).all(|(f, p)| f > p), "delay only ever adds latency");
+    }
+
+    #[test]
+    fn duplicate_copies_are_dropped_by_the_guard() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan { dup_permille: 1000, ..FaultPlan::duplicate(3) });
+        for i in 0..4 {
+            n.send(0, 4, i, 64, Time::ZERO, None);
+        }
+        assert_eq!(n.in_flight(), 8, "every message has a fabric-level copy");
+        let delivered = drain_admitted(&mut n, 4);
+        assert_eq!(delivered, vec![0, 1, 2, 3], "each message delivered exactly once, in order");
+        let counts = n.fault_counts();
+        assert_eq!(counts.duplicated, 4);
+        assert_eq!(counts.dups_dropped, 4);
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn reordered_messages_are_resequenced_in_pair_order() {
+        let mut n = net();
+        n.set_fault_plan(FaultPlan { reorder_permille: 500, ..FaultPlan::reorder(11) });
+        let sent: Vec<u32> = (0..12).collect();
+        for &i in &sent {
+            n.send(0, 4, i, 64, Time::ZERO, None);
+        }
+        let delivered = drain_admitted(&mut n, 4);
+        assert_eq!(delivered, sent, "the guard restores per-pair FIFO order");
+        let counts = n.fault_counts();
+        assert!(counts.reordered > 0, "seed 11 must actually reorder something");
+        assert!(counts.resequenced > 0, "an inversion must have been held and released");
+        assert_eq!(n.held_messages(), 0);
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn loss_strands_successors_in_the_hold_queue() {
+        // Whatever the seed, a lost message's pair successors are held and
+        // never delivered; sweep a few seeds to find one with both a loss
+        // and a surviving successor (most have both at 30% loss).
+        let mut witnessed = false;
+        for seed in 0..16u64 {
+            let mut n = net();
+            n.set_fault_plan(FaultPlan { loss_permille: 300, ..FaultPlan::loss(seed) });
+            for i in 0..10 {
+                n.send(0, 4, i, 64, Time::ZERO, None);
+            }
+            let delivered = drain_admitted(&mut n, 4);
+            let counts = n.fault_counts();
+            assert_eq!(
+                delivered.len() + counts.lost as usize + n.held_messages(),
+                10,
+                "every message is delivered, lost, or stranded"
+            );
+            if counts.lost > 0 && n.held_messages() > 0 {
+                assert!(n.in_flight() > 0, "held messages keep the fabric non-quiescent");
+                witnessed = true;
+                break;
+            }
+        }
+        assert!(witnessed, "no seed in 0..16 produced a loss with stranded successors");
+    }
+
+    #[test]
+    fn fault_replay_is_a_pure_function_of_the_plan() {
+        let run = |plan: FaultPlan| {
+            let mut n = net();
+            n.set_fault_plan(plan);
+            for i in 0..16 {
+                n.send(i % 4, 4 + (i % 4), i, 64, Time::ZERO, None);
+            }
+            (drain_admitted(&mut n, 4), n.fault_counts(), n.held_messages())
+        };
+        let plan = FaultPlan::chaos(42);
+        assert_eq!(run(plan), run(plan), "replaying a plan is bit-exact");
+        assert_ne!(
+            run(plan).1,
+            run(plan.with_seed(43)).1,
+            "a different seed draws a different fault schedule"
+        );
     }
 }

@@ -16,6 +16,7 @@ fn hammer(mode: Mode) -> Vec<u32> {
         mode,
         naive_race_spin: 2_000, // µs of widened race window (naive only)
         poll_interval: 4,
+        ..Config::default()
     };
     let dsm = FgDsm::new(cfg);
     let iters = 8_192u32;

@@ -82,6 +82,44 @@ def host_perf(doc):
             )
 
 
+def fault_sweep(doc):
+    runs = doc.get("runs")
+    if runs is None:  # tolerate a hand-made single-run file
+        runs = [doc]
+    print(f"{len(runs)} recorded sweep(s); per run: criterion booleans / gate metric")
+    for i, run in enumerate(runs, 1):
+        cfg = run.get("config", {})
+        summ = run.get("summary", {})
+        print(
+            f"  run #{i}: seeds={cfg.get('seeds', '?')} "
+            f"loss_seeds={cfg.get('loss_seeds', '?')} jobs={cfg.get('jobs', '?')} "
+            f"tolerated={summ.get('tolerated_pass', '?')} "
+            f"hetero={summ.get('hetero_pass', '?')} loss={summ.get('loss_pass', '?')} "
+            f"identity={summ.get('identity_pass', '?')} "
+            f"total_wall_ms={summ.get('total_wall_ms', '?')}"
+        )
+    last = runs[-1]
+    rows = last.get("tolerated", []) + last.get("heterogeneous", [])
+    if rows:
+        print("  latest sweep, per section:")
+        w = max(len(r.get("kind", r.get("shape", "?"))) for r in rows)
+        for r in rows:
+            label = r.get("kind", r.get("shape", "?"))
+            print(
+                f"    {label:<{w}}  {r.get('runs', 0):>4} runs  "
+                f"{r.get('failures', 0)} failures  {r.get('wall_ms', 0):7.1f} ms"
+            )
+    loss = last.get("loss", {})
+    if loss:
+        print(
+            f"  loss: caught={loss.get('caught', '?')} "
+            f"replay_identical={loss.get('replay_identical', '?')} "
+            f"shrink_keeps_loss={loss.get('shrink_keeps_loss', '?')} "
+            f"shrunk_fails={loss.get('shrunk_fails', '?')} "
+            f"shrunk_iters={loss.get('shrunk_iters', '?')}"
+        )
+
+
 def site_lines(sites):
     for s in sites:
         print(
@@ -167,6 +205,8 @@ for path in sys.argv[1:]:
         sharing_advisor(doc)
     elif path == "BENCH_advisor_sweep.json":
         advisor_sweep(doc)
+    elif path == "BENCH_fault_sweep.json":
+        fault_sweep(doc)
     else:
         generic(doc)
 print()

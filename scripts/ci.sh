@@ -88,6 +88,26 @@ cargo run --release -p shasta-bench --bin host_perf -- \
 test -s "$hp_tmp" || { echo "host_perf JSON is empty"; exit 1; }
 rm -f "$hp_tmp"
 
+echo "==> fault-sweep smoke (--quick: all fault kinds x scenarios x topologies)"
+# Exercises the fault fabric end to end: delay/dup/reorder/chaos must pass
+# every oracle (the binary aborts otherwise), heterogeneous shapes pass
+# clean and under chaos, loss is caught + shrunk, and disabled plans stay
+# byte-identical to the historical checker. Two independent invocations
+# must shrink the loss failure to the byte-identical counterexample — the
+# fault-replay determinism contract.
+fs_a="$(mktemp /tmp/shasta-ci-faultsweep-a.XXXXXX.json)"
+fs_b="$(mktemp /tmp/shasta-ci-faultsweep-b.XXXXXX.json)"
+cx_a="$(mktemp /tmp/shasta-ci-losscx-a.XXXXXX.txt)"
+cx_b="$(mktemp /tmp/shasta-ci-losscx-b.XXXXXX.txt)"
+cargo run --release -p shasta-bench --bin fault_sweep -- \
+  --quick --out "$fs_a" --loss-cx "$cx_a" > /dev/null
+cargo run --release -p shasta-bench --bin fault_sweep -- \
+  --quick --out "$fs_b" --loss-cx "$cx_b" > /dev/null
+test -s "$fs_a" || { echo "fault_sweep JSON is empty"; exit 1; }
+test -s "$cx_a" || { echo "loss counterexample is empty"; exit 1; }
+diff -u "$cx_a" "$cx_b" || { echo "loss counterexample replay is not deterministic"; exit 1; }
+rm -f "$fs_a" "$fs_b" "$cx_a" "$cx_b"
+
 echo "==> perf regression gate (tracked trajectories)"
 scripts/perf_gate.sh
 

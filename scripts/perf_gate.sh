@@ -7,10 +7,16 @@
 #   BENCH_host_perf.json     fail if total_wall_ms (serial sweep + unrecorded
 #                            app walls — the single-thread hot path) rose by
 #                            more than 15%
+#   BENCH_fault_sweep.json   fail if the last run's criterion booleans
+#                            (tolerated/hetero/loss/identity) are not all
+#                            true — gated from the FIRST entry on — or if
+#                            total_wall_ms rose by more than 25% (the fault
+#                            fabric's admit guard lives on the delivery hot
+#                            path)
 #
 # A file with fewer than two entries (or no file at all) is informational
-# only: the trajectory has nothing to compare against yet. Read-only; uses
-# only the Python standard library.
+# only for the wall-time comparisons: the trajectory has nothing to compare
+# against yet. Read-only; uses only the Python standard library.
 #
 # Usage: scripts/perf_gate.sh          (from anywhere; cd's to the repo root)
 set -euo pipefail
@@ -23,8 +29,23 @@ import sys
 
 OBS_MAX_DELTA_POINTS = 3.0
 HOST_MAX_RATIO = 1.15
+FAULT_MAX_RATIO = 1.25
 
 failures = []
+
+
+def all_runs_of(path):
+    """Every entry of a trajectory (or None if the file is absent) — for
+    gates that apply from the first entry on."""
+    if not os.path.exists(path):
+        print(f"{path}: absent; nothing to gate")
+        return None
+    with open(path) as fh:
+        doc = json.load(fh)
+    runs = doc.get("runs")
+    if runs is None:  # legacy single-run file
+        runs = [doc]
+    return runs
 
 
 def runs_of(path):
@@ -68,6 +89,33 @@ if runs is not None:
     )
     if verdict == "FAIL":
         failures.append("host wall-clock regressed")
+
+runs = all_runs_of("BENCH_fault_sweep.json")
+if runs:
+    summ = runs[-1]["summary"]
+    bools = ["tolerated_pass", "hetero_pass", "loss_pass", "identity_pass"]
+    bad = [k for k in bools if summ.get(k) is not True]
+    verdict = "OK" if not bad else "FAIL"
+    print(
+        "BENCH_fault_sweep.json: "
+        + " ".join(f"{k}={summ.get(k)}" for k in bools)
+        + f" {verdict}"
+    )
+    if bad:
+        failures.append("fault-sweep criteria failed: " + ", ".join(bad))
+    if len(runs) >= 2:
+        prev = runs[-2]["summary"]["total_wall_ms"]
+        last = summ["total_wall_ms"]
+        ratio = last / prev if prev > 0 else float("inf")
+        verdict = "OK" if ratio <= FAULT_MAX_RATIO else "FAIL"
+        print(
+            f"BENCH_fault_sweep.json: total_wall_ms {prev:.1f} -> {last:.1f} "
+            f"({ratio:.3f}x, limit {FAULT_MAX_RATIO}x) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append("fault-sweep wall-clock regressed")
+    else:
+        print("BENCH_fault_sweep.json: 1 entry; wall-time gate needs 2 — skipping")
 
 if failures:
     print("perf gate FAILED: " + "; ".join(failures))
