@@ -2,7 +2,8 @@
 
 use shasta_cluster::{CostModel, Topology};
 use shasta_core::api::Dsm;
-use shasta_core::protocol::{Machine, ProtocolConfig, SetupCtx};
+use shasta_core::protocol::{Machine, ProtoMsg, ProtocolConfig, SetupCtx};
+use shasta_memchan::Transport;
 use shasta_stats::RunStats;
 
 /// One processor's program.
@@ -188,6 +189,29 @@ impl RunConfig {
 /// runtime conditions).
 pub fn run_app(app: &dyn DsmApp, cfg: &RunConfig) -> RunStats {
     let (mut machine, bodies) = build_machine(app, cfg);
+    machine.run(bodies)
+}
+
+/// Runs `app` under `cfg` on a caller-supplied messaging backend instead of
+/// the default simulated Memory Channel. The factory receives the resolved
+/// topology and cost model and returns the transport to install — e.g. the
+/// real loopback transport from `shasta-transport`. This is the entry point
+/// of the differential harness: identical configs run once per backend and
+/// their counters are compared.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_app`], plus whatever the
+/// transport's own failure modes are (a wire fabric panics rather than
+/// silently dropping messages).
+pub fn run_app_with_transport(
+    app: &dyn DsmApp,
+    cfg: &RunConfig,
+    make: impl FnOnce(&Topology, &CostModel) -> Box<dyn Transport<ProtoMsg>>,
+) -> RunStats {
+    let (mut machine, bodies) = build_machine(app, cfg);
+    let transport = make(machine.topology(), machine.cost_model());
+    machine.set_transport(transport);
     machine.run(bodies)
 }
 

@@ -2,6 +2,8 @@
 
 //! SPLASH-2-style application kernels for the Shasta reproduction.
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! The paper evaluates nine SPLASH-2 applications (Table 1). Each kernel
 //! here re-implements the corresponding computation against the DSM API with
 //! the same *sharing pattern* — partitioning, task queues, migratory

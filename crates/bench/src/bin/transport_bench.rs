@@ -1,0 +1,355 @@
+//! Loopback-transport benchmark: measures the real-socket fabric and proves
+//! the differential acceptance criterion, appending one run to the
+//! `BENCH_transport.json` trajectory for `scripts/perf_gate.sh`.
+//!
+//! Four measurement sections:
+//!
+//! 1. **Handshake** — wall time to bring up the full fabric (sockets plus
+//!    `HELLO` version negotiation on every node-pair stream) for a
+//!    2-node/8-processor topology, per backend.
+//! 2. **Round trip** — raw socket ping-pong of an encoded `DATA` frame
+//!    through the production codec, per backend (median of many RTTs).
+//! 3. **Differential** — every Table 2 kernel over both backends; the
+//!    message, miss, and downgrade counters and simulated cycles must equal
+//!    the pure-simulator oracle *exactly* (the acceptance criterion).
+//! 4. **Retransmit** — LU with every 7th first transmission dropped; the
+//!    counters must still match and the drop/retransmit/hold machinery must
+//!    all have fired.
+//!
+//! The gate metric is `summary.total_wall_ms`; the criterion booleans
+//! (`differential_pass`, `retransmit_pass`) are asserted at exit so a
+//! regression aborts the binary rather than silently logging `false`.
+//!
+//! ```text
+//! transport_bench [--quick] [--out PATH] [--counters PATH]
+//! ```
+//!
+//! `--quick` is the CI smoke configuration: one kernel (LU) over UDS plus
+//! the retransmit section. `--counters PATH` writes the sim-oracle counters
+//! of every kernel it ran to PATH; the report is derived purely from the
+//! deterministic simulator, so two independent invocations must produce
+//! byte-identical files — the CI determinism diff.
+
+use std::io::{Read, Write};
+use std::time::Instant;
+
+use shasta_apps::driver::{registry, run_app, run_app_with_transport, Preset, Proto, RunConfig};
+use shasta_bench::trajectory;
+use shasta_core::protocol::ProtoMsg;
+use shasta_core::space::Block;
+use shasta_stats::RunStats;
+use shasta_transport::wire::{encode_frame, DataFrame, Frame, FrameReader, VERSION};
+use shasta_transport::{Backend, DropPlan, LoopbackTransport};
+
+fn smp_tiny() -> RunConfig {
+    RunConfig::new(Proto::Smp, 8, 4)
+}
+
+/// Median wall time, in milliseconds, to connect the full fabric (per-pair
+/// sockets + HELLO negotiation) for an 8-processor, 2-node topology.
+fn handshake_ms(backend: Backend, iters: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let topo = shasta_cluster::Topology::new(8, 4, 4).unwrap();
+            let t = Instant::now();
+            let transport = LoopbackTransport::connect(
+                topo,
+                shasta_cluster::CostModel::alpha_4100(),
+                backend,
+                DropPlan::default(),
+            )
+            .expect("loopback fabric");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            drop(transport);
+            ms
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median round-trip time, in microseconds, for one encoded `DATA` frame
+/// ping-ponged over a raw socket pair through the production codec.
+fn round_trip_us(backend: Backend, iters: usize) -> f64 {
+    let frame = Frame::Data(DataFrame {
+        version: VERSION,
+        src: 0,
+        dst: 4,
+        pair_seq: 1,
+        via_vnode: false,
+        msg: ProtoMsg::ReadReq { block: Block { start: 0x4000, len: 64 } },
+    });
+    let bytes = encode_frame(&frame).expect("encode");
+    let echo_bytes = bytes.clone();
+
+    // An echo peer that decodes each frame (exercising the codec on both
+    // sides of the wire) and writes the canonical encoding back.
+    let serve = move |mut sock: Box<dyn SockIo>| {
+        let mut reader = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match sock.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => reader.extend(&buf[..n]),
+            }
+            while let Ok(Some(f)) = reader.next_frame() {
+                assert!(matches!(f, Frame::Data(_)));
+                if sock.write_all(&echo_bytes).is_err() {
+                    return;
+                }
+            }
+        }
+    };
+
+    let (mut local, handle) = match backend {
+        Backend::Tcp => {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let handle = std::thread::spawn(move || {
+                let (sock, _) = listener.accept().expect("accept");
+                sock.set_nodelay(true).expect("nodelay");
+                serve(Box::new(sock));
+            });
+            let sock = std::net::TcpStream::connect(addr).expect("connect");
+            sock.set_nodelay(true).expect("nodelay");
+            (Box::new(sock) as Box<dyn SockIo>, handle)
+        }
+        Backend::Uds => {
+            let path =
+                std::env::temp_dir().join(format!("shasta-bench-{}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind");
+            let handle = std::thread::spawn(move || {
+                let (sock, _) = listener.accept().expect("accept");
+                serve(Box::new(sock));
+            });
+            let sock = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+            let _ = std::fs::remove_file(&path);
+            (Box::new(sock) as Box<dyn SockIo>, handle)
+        }
+    };
+
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        local.write_all(&bytes).expect("write");
+        'await_echo: loop {
+            let n = local.read(&mut buf).expect("read");
+            assert!(n > 0, "echo peer hung up");
+            reader.extend(&buf[..n]);
+            if let Ok(Some(f)) = reader.next_frame() {
+                assert_eq!(f, frame, "echo corrupted the frame");
+                break 'await_echo;
+            }
+        }
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    local.shutdown_write();
+    handle.join().expect("echo peer");
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Object-safe read+write over both socket flavors, with a half-close so
+/// the echo peer's read loop terminates.
+trait SockIo: Read + Write + Send {
+    fn shutdown_write(&mut self);
+}
+impl SockIo for std::net::TcpStream {
+    fn shutdown_write(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Write);
+    }
+}
+impl SockIo for std::os::unix::net::UnixStream {
+    fn shutdown_write(&mut self) {
+        let _ = self.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+fn counters_equal(sim: &RunStats, wire: &RunStats) -> bool {
+    sim.messages == wire.messages
+        && sim.misses == wire.misses
+        && sim.downgrades == wire.downgrades
+        && sim.elapsed_cycles == wire.elapsed_cycles
+}
+
+struct DiffRow {
+    app: &'static str,
+    backend: Backend,
+    pass: bool,
+    wall_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = flag("--out").unwrap_or_else(|| "BENCH_transport.json".to_string());
+
+    // --- Section 1: fabric handshake. ---
+    let iters = if quick { 3 } else { 9 };
+    let handshakes: Vec<(Backend, f64)> =
+        [Backend::Tcp, Backend::Uds].map(|b| (b, handshake_ms(b, iters))).into();
+    for (b, ms) in &handshakes {
+        println!("handshake {:<4} 8 procs / 2 nodes: {ms:7.3} ms", b.label());
+    }
+
+    // --- Section 2: codec round trip over a raw socket pair. ---
+    let rtt_iters = if quick { 200 } else { 2_000 };
+    let rtts: Vec<(Backend, f64)> =
+        [Backend::Tcp, Backend::Uds].map(|b| (b, round_trip_us(b, rtt_iters))).into();
+    for (b, us) in &rtts {
+        println!(
+            "round-trip {:<4} 64B DATA frame:    {us:7.2} us (median of {rtt_iters})",
+            b.label()
+        );
+    }
+
+    // --- Section 3: the differential acceptance criterion. ---
+    let cfg = smp_tiny();
+    let table2: Vec<_> = registry().into_iter().filter(|s| s.in_table2).collect();
+    let apps: Vec<_> = if quick {
+        table2.iter().filter(|s| s.name == "LU").collect()
+    } else {
+        table2.iter().collect()
+    };
+    let backends: &[Backend] = if quick { &[Backend::Uds] } else { &[Backend::Tcp, Backend::Uds] };
+    let mut counters_report = String::new();
+    let mut rows: Vec<DiffRow> = Vec::new();
+    for spec in &apps {
+        let sim = run_app((spec.build)(Preset::Tiny, true).as_ref(), &cfg);
+        counters_report.push_str(&format!(
+            "{} messages={:?} misses={:?} downgrades={:?} cycles={}\n",
+            spec.name, sim.messages, sim.misses, sim.downgrades, sim.elapsed_cycles
+        ));
+        for &backend in backends {
+            let t = Instant::now();
+            let wire = run_app_with_transport(
+                (spec.build)(Preset::Tiny, true).as_ref(),
+                &cfg,
+                |tp, cm| {
+                    Box::new(
+                        LoopbackTransport::connect(
+                            tp.clone(),
+                            cm.clone(),
+                            backend,
+                            DropPlan::default(),
+                        )
+                        .expect("loopback fabric"),
+                    )
+                },
+            );
+            let row = DiffRow {
+                app: spec.name,
+                backend,
+                pass: counters_equal(&sim, &wire),
+                wall_ms: t.elapsed().as_secs_f64() * 1e3,
+            };
+            println!(
+                "differential {:<9} {:<4} counters {} ({:.1}ms)",
+                row.app,
+                backend.label(),
+                if row.pass { "equal" } else { "DIVERGED" },
+                row.wall_ms
+            );
+            rows.push(row);
+        }
+    }
+    let differential_pass = rows.iter().all(|r| r.pass);
+
+    // --- Section 4: induced drops must converge via retransmission. ---
+    let t = Instant::now();
+    let lu = registry().into_iter().find(|s| s.name == "LU").expect("LU");
+    let sim = run_app((lu.build)(Preset::Tiny, true).as_ref(), &cfg);
+    let mut probe = None;
+    let wire = run_app_with_transport((lu.build)(Preset::Tiny, true).as_ref(), &cfg, |tp, cm| {
+        let transport = LoopbackTransport::connect(
+            tp.clone(),
+            cm.clone(),
+            Backend::Uds,
+            DropPlan { drop_every: 7 },
+        )
+        .expect("loopback fabric");
+        probe = Some(transport.counts_probe());
+        Box::new(transport)
+    });
+    let counts = probe.expect("factory ran").get();
+    let retransmit_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let retransmit_pass = counters_equal(&sim, &wire)
+        && counts.induced_drops > 0
+        && counts.retransmits >= counts.induced_drops
+        && counts.holds > 0
+        && counts.resequenced > 0;
+    println!(
+        "retransmit LU uds drop_every=7: counters {} drops={} retransmits={} holds={} \
+         resequenced={} ({retransmit_wall_ms:.1}ms)",
+        if counters_equal(&sim, &wire) { "equal" } else { "DIVERGED" },
+        counts.induced_drops,
+        counts.retransmits,
+        counts.holds,
+        counts.resequenced
+    );
+
+    if let Some(path) = flag("--counters") {
+        std::fs::write(&path, &counters_report)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote sim-oracle counters report to {path}");
+    }
+
+    let total_wall_ms = rows.iter().map(|r| r.wall_ms).sum::<f64>() + retransmit_wall_ms;
+
+    let mut entry = String::from("    {\n");
+    entry.push_str(&format!(
+        "      \"config\": {{\"quick\": {quick}, \"rtt_iters\": {rtt_iters}, \"unix_time\": {}}},\n",
+        trajectory::unix_stamp()
+    ));
+    entry.push_str("      \"handshake\": [\n");
+    for (i, (b, ms)) in handshakes.iter().enumerate() {
+        entry.push_str(&format!(
+            "        {{\"backend\": \"{}\", \"connect_ms\": {ms:.3}}}{}\n",
+            b.label(),
+            if i + 1 < handshakes.len() { "," } else { "" }
+        ));
+    }
+    entry.push_str("      ],\n");
+    entry.push_str("      \"round_trip\": [\n");
+    for (i, (b, us)) in rtts.iter().enumerate() {
+        entry.push_str(&format!(
+            "        {{\"backend\": \"{}\", \"rtt_us\": {us:.2}}}{}\n",
+            b.label(),
+            if i + 1 < rtts.len() { "," } else { "" }
+        ));
+    }
+    entry.push_str("      ],\n");
+    entry.push_str("      \"differential\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        entry.push_str(&format!(
+            "        {{\"app\": \"{}\", \"backend\": \"{}\", \"pass\": {}, \"wall_ms\": {:.2}}}{}\n",
+            r.app,
+            r.backend.label(),
+            r.pass,
+            r.wall_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    entry.push_str("      ],\n");
+    entry.push_str(&format!(
+        "      \"retransmit\": {{\"induced_drops\": {}, \"retransmits\": {}, \"holds\": {}, \"resequenced\": {}, \"pass\": {retransmit_pass}, \"wall_ms\": {retransmit_wall_ms:.2}}},\n",
+        counts.induced_drops, counts.retransmits, counts.holds, counts.resequenced
+    ));
+    entry.push_str(&format!(
+        "      \"summary\": {{\"differential_pass\": {differential_pass}, \"retransmit_pass\": {retransmit_pass}, \"total_wall_ms\": {total_wall_ms:.2}}}\n"
+    ));
+    entry.push_str("    }");
+
+    let appended = trajectory::append(&out, "differential", entry);
+    println!(
+        "\ndifferential_pass={differential_pass} retransmit_pass={retransmit_pass}; gate metric \
+         total_wall_ms {total_wall_ms:.1}\nwrote {out} (trajectory run #{appended})"
+    );
+    assert!(differential_pass, "a wire-backed run diverged from the simulator oracle");
+    assert!(retransmit_pass, "induced drops did not converge via retransmission");
+}

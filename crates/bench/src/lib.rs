@@ -2,6 +2,8 @@
 
 //! Experiment harness shared by the per-table/per-figure binaries.
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper
 //! (see `DESIGN.md`'s per-experiment index): it sweeps the applications
 //! through the relevant protocol/processor/clustering configurations via

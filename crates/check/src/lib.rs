@@ -2,6 +2,8 @@
 
 //! # shasta-check — schedule-exploration checker
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! Turns the deterministic simulator into a model checker: small
 //! data-race-free kernels run on small cluster topologies under seeded
 //! schedule perturbation ([`SchedulePolicy::SeededRandom`] tie-breaking and

@@ -2,6 +2,8 @@
 
 //! Cluster topology and cost model for the Shasta / SMP-Shasta reproduction.
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! The paper's prototype cluster is four AlphaServer 4100s (each with four
 //! 300 MHz Alpha 21164 processors) connected by Digital's Memory Channel.
 //! This crate models that machine as pure data: [`Topology`] describes how

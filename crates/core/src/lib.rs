@@ -2,6 +2,8 @@
 
 //! # shasta-core — fine-grain software distributed shared memory
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! A full reimplementation of the Shasta and SMP-Shasta protocols from
 //! Scales, Gharachorloo & Aggarwal, *Fine-Grain Software Distributed Shared
 //! Memory on SMP Clusters* (WRL 97/3 / HPCA 1998), running over a

@@ -211,6 +211,9 @@ impl Machine {
         }
         pool.join();
         self.stats.messages = *self.net.stats();
+        // Release any real resources a non-simulated transport holds
+        // (sockets, reader threads); a no-op for the simulated network.
+        self.net.shutdown();
         self.audit();
         self.stats.clone()
     }

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use shasta_cluster::{CostModel, Topology};
-use shasta_memchan::Network;
+use shasta_memchan::{Network, Transport};
 use shasta_sim::{SchedulePolicy, Scheduler, Time, Trace};
 use shasta_stats::{RunStats, TimeCat};
 
@@ -185,7 +185,11 @@ pub struct Machine {
     pub(crate) deferred_invals: Vec<HashMap<Addr, u32>>,
     /// Store entries past their reply but awaiting acks, per virtual node.
     pub(crate) lingering: Vec<Vec<LingeringAcks>>,
-    pub(crate) net: Network<ProtoMsg>,
+    /// The messaging backend. Defaults to the simulated Memory Channel
+    /// ([`Network`]); [`Machine::set_transport`] swaps in any other
+    /// [`Transport`] implementation (e.g. the real loopback transport in
+    /// `shasta-transport`) before the run starts.
+    pub(crate) net: Box<dyn Transport<ProtoMsg>>,
     // ---- per-processor runtime ----
     pub(crate) clocks: Vec<Time>,
     pub(crate) stalls: Vec<Option<Stall>>,
@@ -282,7 +286,7 @@ impl Machine {
             downgrades: (0..vnodes).map(|_| HashMap::new()).collect(),
             deferred_invals: (0..vnodes).map(|_| HashMap::new()).collect(),
             lingering: (0..vnodes).map(|_| Vec::new()).collect(),
-            net: Network::new(topo.clone(), cost.clone()),
+            net: Box::new(Network::new(topo.clone(), cost.clone())),
             clocks: vec![Time::ZERO; procs],
             stalls: vec![None; procs],
             wake_floor: vec![Time::ZERO; procs],
@@ -371,6 +375,25 @@ impl Machine {
     /// Panics if the profile's shape does not match the topology.
     pub fn set_net_profile(&mut self, profile: shasta_cluster::NetProfile) {
         self.net.set_profile(profile);
+    }
+
+    /// Replaces the messaging backend with another [`Transport`]
+    /// implementation — e.g. the real loopback TCP / Unix-domain-socket
+    /// transport in `shasta-transport` (see `docs/TRANSPORT.md` for its
+    /// wire protocol). The default backend is the simulated Memory Channel.
+    /// Must be called before [`Machine::run`], while no messages are in
+    /// flight: the previous backend is dropped, queued messages and all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outgoing backend still has messages in flight.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport<ProtoMsg>>) {
+        assert_eq!(
+            self.net.in_flight(),
+            0,
+            "swap the transport before the run starts, not while messages are in flight"
+        );
+        self.net = transport;
     }
 
     /// Overrides how many processors a barrier waits for (default: all of

@@ -2,6 +2,8 @@
 
 //! # shasta-fgdsm — the downgrade protocol under real concurrency
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! The simulator in `shasta-core` *models* the paper's race conditions; this
 //! crate faces them for real. It is an in-process fine-grain DSM runtime
 //! where every simulated "processor" is an OS thread and every design point

@@ -1,7 +1,9 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Messaging substrate: the Memory Channel network and intra-node
 //! shared-memory message queues.
+//!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
 //!
 //! The paper's message-passing layer (§4.1) runs over Digital's Memory
 //! Channel between nodes and over shared-memory segments within a node, with
@@ -43,6 +45,16 @@
 //! no RNG is seeded, no sequence numbers are stamped, and [`Network::admit`]
 //! passes every message through untouched.
 //!
+//! # The transport abstraction
+//!
+//! The protocol engine does not depend on [`Network`] directly: it speaks
+//! the [`Transport`] trait, of which `Network` is the canonical (and
+//! timing-oracle) implementation. The `shasta-transport` crate provides a
+//! second backend over real loopback TCP / Unix-domain sockets; the
+//! exactly-once in-order guard both backends need is factored into
+//! [`PairSequencer`]. See `docs/ARCHITECTURE.md` for the crate map and
+//! `docs/TRANSPORT.md` for the wire protocol.
+//!
 //! # Example
 //!
 //! ```
@@ -73,6 +85,12 @@ use serde::{Deserialize, Serialize};
 use shasta_cluster::{CostModel, NetProfile, Topology};
 use shasta_sim::{SplitMix64, Time};
 use shasta_stats::{MsgClass, MsgStats};
+
+mod seqguard;
+mod transport;
+
+pub use seqguard::{PairSequencer, SeqVerdict};
+pub use transport::Transport;
 
 /// A message in flight or queued at its destination.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -245,23 +263,16 @@ impl std::fmt::Display for FaultCounts {
     }
 }
 
-/// Live state of an installed fault plan: the RNG stream, per-pair send /
-/// deliver sequence counters, and the injection tally.
+/// Live state of an installed fault plan: the RNG stream, the per-pair
+/// sequencer driving the admit guard, and the injection tally.
 #[derive(Debug)]
 struct FaultState {
     plan: FaultPlan,
     rng: SplitMix64,
     counts: FaultCounts,
-    /// Last stamped per-stream sequence number, indexed
-    /// `src_node * nodes + dst_node`. Streams are keyed by *node pair*, not
-    /// processor pair: remote sends from one node serialize on its Memory
-    /// Channel link and arrive monotonically per destination node, so the
-    /// fabric ordering the protocol's home-serialization argument leans on
-    /// (e.g. an invalidation to one processor ordered before a reply to its
-    /// node mate) is node-to-node.
-    next_send: Vec<u64>,
-    /// Last *delivered* per-stream sequence number, same indexing.
-    next_deliver: Vec<u64>,
+    /// Exactly-once in-order streams indexed `src_node * nodes + dst_node`
+    /// (see [`PairSequencer`] for why streams are keyed by node pair).
+    seqr: PairSequencer,
 }
 
 impl FaultState {
@@ -270,8 +281,7 @@ impl FaultState {
             rng: SplitMix64::new(plan.seed ^ 0x5EED_FA17_7E57_C0DE),
             plan,
             counts: FaultCounts::default(),
-            next_send: vec![0; nodes * nodes],
-            next_deliver: vec![0; nodes * nodes],
+            seqr: PairSequencer::new(nodes * nodes),
         }
     }
 }
@@ -524,8 +534,7 @@ impl<M: Eq + Clone> Network<M> {
             return Some((0, arrival, None));
         };
         let idx = (src_node * nodes + dst_node) as usize;
-        fs.next_send[idx] += 1;
-        let pair_seq = fs.next_send[idx];
+        let pair_seq = fs.seqr.stamp(idx);
         let plan = fs.plan;
         if plan.loss_permille > 0 && fs.rng.below(1000) < plan.loss_permille {
             fs.counts.lost += 1;
@@ -574,31 +583,21 @@ impl<M: Eq + Clone> Network<M> {
         let src_node = u64::from(self.topo.phys_node_of(env.src).0);
         let dst_node = u64::from(self.topo.phys_node_of(env.dst).0);
         let idx = (src_node * nodes + dst_node) as usize;
-        enum Verdict {
-            Duplicate,
-            Hold,
-            Deliver,
-        }
         let verdict = {
             let fs = self.fault.as_mut().expect("sequenced message without an installed plan");
-            let expected = fs.next_deliver[idx] + 1;
-            if env.pair_seq < expected {
+            let v = fs.seqr.admit(idx, env.pair_seq);
+            if v == SeqVerdict::Duplicate {
                 fs.counts.dups_dropped += 1;
-                Verdict::Duplicate
-            } else if env.pair_seq > expected {
-                Verdict::Hold
-            } else {
-                fs.next_deliver[idx] = expected;
-                Verdict::Deliver
             }
+            v
         };
         match verdict {
-            Verdict::Duplicate => None,
-            Verdict::Hold => {
+            SeqVerdict::Duplicate => None,
+            SeqVerdict::Hold => {
                 self.stash.push(env);
                 None
             }
-            Verdict::Deliver => {
+            SeqVerdict::Deliver => {
                 self.release_held(env.src, env.dst, now);
                 Some(env)
             }
@@ -616,8 +615,7 @@ impl<M: Eq + Clone> Network<M> {
         let dst_node = self.topo.phys_node_of(dst);
         let idx = (u64::from(src_node.0) * nodes + u64::from(dst_node.0)) as usize;
         let next =
-            self.fault.as_ref().expect("held message without an installed plan").next_deliver[idx]
-                + 1;
+            self.fault.as_ref().expect("held message without an installed plan").seqr.expected(idx);
         let mut i = 0;
         while i < self.stash.len() {
             let e = &self.stash[i];

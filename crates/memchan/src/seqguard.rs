@@ -1,0 +1,142 @@
+//! The exactly-once, in-order admit guard shared by the simulated network
+//! and the real loopback transport.
+//!
+//! Both delivery substrates face the same problem: the protocol's
+//! home-serialization argument (§2 of the paper) assumes the fabric delivers
+//! messages between a pair of nodes reliably, exactly once, and in order.
+//! The simulated network's fault plans bend that contract on purpose
+//! (duplication, reordering, loss), and a real socket transport with
+//! timeout/retransmit bends it by construction (a retransmitted frame may
+//! race its own ACK and arrive twice, or after a successor). The repair is
+//! identical in both cases — a per-(source node, destination node) stream of
+//! 1-based sequence numbers checked at the delivery boundary — so the state
+//! machine lives here, once.
+//!
+//! A [`PairSequencer`] holds one stream per directed node pair. Senders call
+//! [`PairSequencer::stamp`] to draw the next position on a stream; receivers
+//! call [`PairSequencer::admit`] with each message's stamped position and
+//! act on the verdict: discard a [`SeqVerdict::Duplicate`], stash a
+//! [`SeqVerdict::Hold`] until its predecessors land, deliver a
+//! [`SeqVerdict::Deliver`] (and then re-offer any stashed successors, whose
+//! turn may now have come — [`PairSequencer::expected`] says whose).
+
+use serde::{Deserialize, Serialize};
+
+/// The admit guard's ruling on one sequenced message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeqVerdict {
+    /// The message's stream position was already delivered: a fabric
+    /// duplicate (or a retransmission that raced its ACK). Discard it.
+    Duplicate,
+    /// A predecessor on the message's stream has not been delivered yet.
+    /// Stash the message and re-offer it after the stream advances.
+    Hold,
+    /// The message is next on its stream; the stream has been advanced.
+    /// Dispatch it, then re-offer any stashed successors.
+    Deliver,
+}
+
+/// Per-(source node, destination node) sequence-number streams: the state
+/// behind the exactly-once in-order delivery guard.
+///
+/// Streams are keyed by *node* pair, not processor pair: remote sends from
+/// one node serialize on its Memory Channel link (or on one socket per node
+/// pair, in the real transport) and arrive monotonically per destination
+/// node, so the ordering the protocol leans on — e.g. an invalidation to one
+/// processor ordered before a reply to its node mate — is node-to-node.
+/// Stream `i` for a send from node `s` to node `d` on an `n`-node cluster is
+/// `s * n + d`; position 0 is reserved for "unsequenced" (messages that
+/// bypass the guard entirely).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct PairSequencer {
+    /// Last stamped position per stream (0 = nothing sent yet).
+    next_send: Vec<u64>,
+    /// Last delivered position per stream (0 = nothing delivered yet).
+    next_deliver: Vec<u64>,
+}
+
+impl PairSequencer {
+    /// A sequencer with `streams` independent streams, all at position 0.
+    pub fn new(streams: usize) -> Self {
+        PairSequencer { next_send: vec![0; streams], next_deliver: vec![0; streams] }
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.next_send.len()
+    }
+
+    /// Draws the next (1-based) position on `stream` for a sender.
+    pub fn stamp(&mut self, stream: usize) -> u64 {
+        self.next_send[stream] += 1;
+        self.next_send[stream]
+    }
+
+    /// Rules on a received message stamped `pair_seq` on `stream`, advancing
+    /// the stream when the verdict is [`SeqVerdict::Deliver`].
+    pub fn admit(&mut self, stream: usize, pair_seq: u64) -> SeqVerdict {
+        let expected = self.next_deliver[stream] + 1;
+        if pair_seq < expected {
+            SeqVerdict::Duplicate
+        } else if pair_seq > expected {
+            SeqVerdict::Hold
+        } else {
+            self.next_deliver[stream] = expected;
+            SeqVerdict::Deliver
+        }
+    }
+
+    /// The position the next in-order delivery on `stream` must carry.
+    /// Stashed messages below this are duplicates; at it, deliverable.
+    pub fn expected(&self, stream: usize) -> u64 {
+        self.next_deliver[stream] + 1
+    }
+
+    /// Highest position stamped so far on `stream` (0 = none).
+    pub fn stamped(&self, stream: usize) -> u64 {
+        self.next_send[stream]
+    }
+
+    /// Highest position delivered so far on `stream` (0 = none).
+    pub fn delivered(&self, stream: usize) -> u64 {
+        self.next_deliver[stream]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_delivers_every_position() {
+        let mut s = PairSequencer::new(4);
+        for _ in 0..5 {
+            let pos = s.stamp(2);
+            assert_eq!(s.admit(2, pos), SeqVerdict::Deliver);
+        }
+        assert_eq!(s.delivered(2), 5);
+        assert_eq!(s.stamped(2), 5);
+    }
+
+    #[test]
+    fn duplicate_and_early_positions_are_flagged() {
+        let mut s = PairSequencer::new(1);
+        let a = s.stamp(0);
+        let b = s.stamp(0);
+        assert_eq!(s.admit(0, b), SeqVerdict::Hold, "successor before predecessor");
+        assert_eq!(s.admit(0, a), SeqVerdict::Deliver);
+        assert_eq!(s.expected(0), b, "stash re-offer target");
+        assert_eq!(s.admit(0, b), SeqVerdict::Deliver);
+        assert_eq!(s.admit(0, a), SeqVerdict::Duplicate, "replayed predecessor");
+        assert_eq!(s.admit(0, b), SeqVerdict::Duplicate, "replayed successor");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut s = PairSequencer::new(2);
+        let a0 = s.stamp(0);
+        let b0 = s.stamp(1);
+        assert_eq!(s.admit(1, b0), SeqVerdict::Deliver, "stream 1 ignores stream 0");
+        assert_eq!(s.admit(0, a0), SeqVerdict::Deliver);
+    }
+}

@@ -3,6 +3,8 @@
 //! Structured protocol-event tracing for the Shasta / SMP-Shasta
 //! reproduction.
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! The protocol engine emits a stream of [`Event`]s — inline-check misses,
 //! message sends and receives, downgrade progress, poll-point drains, line
 //! locks, pending-state transitions, and execution-time slices — into a

@@ -2,6 +2,8 @@
 
 //! Deterministic direct-execution simulation engine.
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! The Shasta reproduction simulates a 16-processor SMP cluster by *direct
 //! execution*: each simulated processor runs real Rust application code on
 //! its own OS thread, but every protocol-visible action (shared-memory

@@ -2,6 +2,8 @@
 
 //! Metrics and reporting for the Shasta / SMP-Shasta reproduction.
 //!
+//! See `docs/ARCHITECTURE.md` for where this crate sits in the workspace.
+//!
 //! The paper's evaluation reports four families of data, each of which has a
 //! dedicated type here:
 //!

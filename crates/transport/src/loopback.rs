@@ -1,0 +1,625 @@
+//! Real-socket delivery fabric: one loopback TCP or Unix-domain stream per
+//! physical node pair, with reader threads, cumulative ACKs, and
+//! timeout-based retransmission.
+//!
+//! The fabric restores the ordered, exactly-once contract over a substrate
+//! that (deliberately) breaks it: the sender can be told to drop every Nth
+//! first transmission ([`DropPlan`]), forcing the retransmit timer to
+//! recover the stream, and a retransmitted frame that raced its own ACK
+//! arrives twice. Both repairs — duplicate suppression and resequencing of
+//! early arrivals — run through the same
+//! [`PairSequencer`](shasta_memchan::PairSequencer) state machine the
+//! simulated network's fault-injection admit guard uses.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use shasta_core::protocol::ProtoMsg;
+use shasta_memchan::{PairSequencer, SeqVerdict};
+
+use crate::wire::{encode_frame, negotiate, DataFrame, Frame, FrameReader, VERSION};
+
+/// How long an unacknowledged `DATA` frame waits before the retransmit
+/// timer resends it.
+pub const RETRANSMIT_TIMEOUT: Duration = Duration::from_millis(15);
+
+/// How long a blocked receive waits for the wire before declaring the
+/// fabric wedged (a generous multiple of the retransmit timeout).
+const RECV_WATCHDOG: Duration = Duration::from_secs(10);
+
+/// Which kind of loopback socket carries the frames.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// TCP over `127.0.0.1` (an ephemeral port per node pair).
+    Tcp,
+    /// Unix-domain stream sockets (a temporary filesystem path per node
+    /// pair, unlinked once connected).
+    Uds,
+}
+
+impl Backend {
+    /// Short lowercase label for reports (`"tcp"` / `"uds"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Tcp => "tcp",
+            Backend::Uds => "uds",
+        }
+    }
+}
+
+/// Deterministic sender-side frame dropping, to exercise the retransmit
+/// path: every `drop_every`-th `DATA` frame (counted across all streams,
+/// in the engine's deterministic send order) is not written on its first
+/// transmission and must be recovered by the retransmit timer. `0`
+/// disables dropping.
+///
+/// Dropping is invisible to the simulator — the sim envelope is already
+/// queued — so a run under drops must converge to byte-identical counters,
+/// which is exactly what the differential harness asserts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DropPlan {
+    /// Drop the first transmission of every Nth `DATA` frame (0 = never).
+    pub drop_every: u64,
+}
+
+/// Tally of everything the wire layer did, for bench reports and test
+/// assertions. Retransmission counters are timing-dependent (a retransmit
+/// can race its ACK); only `induced_drops` is deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WireCounts {
+    /// `DATA` frames offered for transmission.
+    pub data_frames: u64,
+    /// First transmissions suppressed by the [`DropPlan`].
+    pub induced_drops: u64,
+    /// `DATA` frames re-sent by the retransmit timer.
+    pub retransmits: u64,
+    /// `ACK` frames sent.
+    pub acks_sent: u64,
+    /// Received frames discarded as duplicates (already-delivered stream
+    /// positions).
+    pub dups_dropped: u64,
+    /// Received frames held because a stream predecessor was missing.
+    pub holds: u64,
+    /// Held frames released in order after their predecessor arrived.
+    pub resequenced: u64,
+}
+
+/// A cheap, cloneable handle onto a fabric's [`WireCounts`] that stays
+/// valid after the transport itself has been boxed into a machine and
+/// consumed by a run — how the differential harness asserts that induced
+/// drops really exercised the retransmit path.
+#[derive(Clone, Debug)]
+pub struct WireCountsProbe(Arc<(Mutex<WireState>, Condvar)>);
+
+impl WireCountsProbe {
+    /// Snapshot of the tally right now.
+    pub fn get(&self) -> WireCounts {
+        self.0 .0.lock().unwrap().counts
+    }
+}
+
+/// Either flavor of connected stream socket.
+#[derive(Debug)]
+enum Sock {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Sock {
+    fn try_clone(&self) -> std::io::Result<Sock> {
+        Ok(match self {
+            Sock::Tcp(s) => Sock::Tcp(s.try_clone()?),
+            Sock::Unix(s) => Sock::Unix(s.try_clone()?),
+        })
+    }
+
+    fn shutdown_both(&self) {
+        let _ = match self {
+            Sock::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Sock::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Sock {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.read(buf),
+            Sock::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Sock {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Sock::Tcp(s) => s.write(buf),
+            Sock::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Sock::Tcp(s) => s.flush(),
+            Sock::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A `DATA` frame awaiting acknowledgement (its encoded bytes, so a
+/// retransmission is byte-identical to the original).
+#[derive(Debug)]
+struct Unacked {
+    bytes: Vec<u8>,
+    last_sent: Instant,
+}
+
+/// Everything the reader threads, the retransmit timer, and the engine
+/// thread share, behind one mutex.
+#[derive(Debug, Default)]
+struct WireState {
+    /// Decoded, in-order messages awaiting pickup, keyed by
+    /// `(src processor, dst processor)` — the granularity the engine pops
+    /// simulated envelopes at.
+    inboxes: HashMap<(u32, u32), VecDeque<ProtoMsg>>,
+    /// Receiver-side exactly-once in-order guard, one stream per directed
+    /// node pair (`src_node * nodes + dst_node`).
+    seqr: PairSequencer,
+    /// Early frames parked until their stream predecessors arrive.
+    held: BTreeMap<(usize, u64), DataFrame>,
+    /// Sent-but-unacknowledged frames per directed node-pair stream.
+    unacked: HashMap<usize, BTreeMap<u64, Unacked>>,
+    counts: WireCounts,
+    /// First fatal error any worker thread hit (poisons all receives).
+    error: Option<String>,
+    shutting_down: bool,
+}
+
+impl WireState {
+    /// Runs the receiver state machine on one decoded `DATA` frame:
+    /// suppress duplicates, hold early arrivals, deliver in-order frames
+    /// plus any held successors they unblock. Returns the stream's new
+    /// cumulative-ACK value.
+    fn accept_data(&mut self, frame: DataFrame, node_of: &[u32], nodes: usize) -> u64 {
+        let stream =
+            node_of[frame.src as usize] as usize * nodes + node_of[frame.dst as usize] as usize;
+        match self.seqr.admit(stream, frame.pair_seq) {
+            SeqVerdict::Duplicate => {
+                self.counts.dups_dropped += 1;
+            }
+            SeqVerdict::Hold => {
+                // A retransmission of an already-held frame is a duplicate
+                // in waiting, not a second hold.
+                if self.held.insert((stream, frame.pair_seq), frame).is_some() {
+                    self.counts.dups_dropped += 1;
+                } else {
+                    self.counts.holds += 1;
+                }
+            }
+            SeqVerdict::Deliver => {
+                self.deliver(frame);
+                while let Some(next) = self.held.remove(&(stream, self.seqr.expected(stream))) {
+                    let v = self.seqr.admit(stream, next.pair_seq);
+                    debug_assert_eq!(v, SeqVerdict::Deliver);
+                    self.counts.resequenced += 1;
+                    self.deliver(next);
+                }
+            }
+        }
+        self.seqr.delivered(stream)
+    }
+
+    fn deliver(&mut self, frame: DataFrame) {
+        self.inboxes.entry((frame.src, frame.dst)).or_default().push_back(frame.msg);
+    }
+}
+
+type Writer = Arc<Mutex<Sock>>;
+
+/// The socket fabric: one connected stream per unordered physical node
+/// pair, two reader threads per stream, one retransmit timer, and the
+/// shared delivery state. Owned by
+/// [`LoopbackTransport`](crate::LoopbackTransport); the engine thread
+/// calls [`Fabric::send_data`] and [`Fabric::recv`], the worker threads do
+/// everything else.
+#[derive(Debug)]
+pub(crate) struct Fabric {
+    shared: Arc<(Mutex<WireState>, Condvar)>,
+    /// Write halves keyed by *directed* node pair `(src_node, dst_node)`.
+    writers: Arc<HashMap<(u32, u32), Writer>>,
+    /// Per-processor physical node, indexed by processor id.
+    node_of: Arc<Vec<u32>>,
+    nodes: usize,
+    backend: Backend,
+    drops: DropPlan,
+    version: u8,
+    /// Sender-side stream positions (engine thread only, but kept beside
+    /// the receiver's guard for symmetry).
+    send_seqr: PairSequencer,
+    threads: Vec<JoinHandle<()>>,
+    down: bool,
+}
+
+/// Monotonic disambiguator for Unix-socket paths within one process.
+static UDS_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn connect_pair(backend: Backend) -> std::io::Result<(Sock, Sock)> {
+    match backend {
+        Backend::Tcp => {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            let addr = listener.local_addr()?;
+            let a = TcpStream::connect(addr)?;
+            let (b, _) = listener.accept()?;
+            a.set_nodelay(true)?;
+            b.set_nodelay(true)?;
+            Ok((Sock::Tcp(a), Sock::Tcp(b)))
+        }
+        Backend::Uds => {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let path = std::env::temp_dir().join(format!(
+                "shasta-wire-{}-{}-{}.sock",
+                std::process::id(),
+                UDS_COUNTER.fetch_add(1, Ordering::Relaxed),
+                nanos
+            ));
+            let listener = UnixListener::bind(&path)?;
+            let a = UnixStream::connect(&path)?;
+            let (b, _) = listener.accept()?;
+            // The rendezvous name has served its purpose.
+            let _ = std::fs::remove_file(&path);
+            Ok((Sock::Unix(a), Sock::Unix(b)))
+        }
+    }
+}
+
+/// Reads exactly one frame from a freshly connected socket (used for the
+/// synchronous `HELLO` exchange before reader threads exist). Returns the
+/// frame and the reassembler holding any over-read bytes.
+fn read_one_frame(sock: &mut Sock) -> Result<(Frame, FrameReader), String> {
+    let mut reader = FrameReader::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(frame) = reader.next_frame().map_err(|e| e.to_string())? {
+            return Ok((frame, reader));
+        }
+        let n = sock.read(&mut buf).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed during handshake".into());
+        }
+        reader.extend(&buf[..n]);
+    }
+}
+
+fn write_frame(writer: &Writer, bytes: &[u8]) -> std::io::Result<()> {
+    let mut sock = writer.lock().unwrap();
+    sock.write_all(bytes)?;
+    sock.flush()
+}
+
+impl Fabric {
+    /// Connects every node pair over `backend`, performs the `HELLO`
+    /// version negotiation on each connection, and starts the worker
+    /// threads. `node_of[p]` is processor `p`'s physical node.
+    pub(crate) fn connect(
+        node_of: Vec<u32>,
+        nodes: usize,
+        backend: Backend,
+        drops: DropPlan,
+    ) -> std::io::Result<Fabric> {
+        let shared = Arc::new((Mutex::new(WireState::default()), Condvar::new()));
+        {
+            let mut st = shared.0.lock().unwrap();
+            st.seqr = PairSequencer::new(nodes * nodes);
+        }
+        let node_of = Arc::new(node_of);
+        let mut writers = HashMap::new();
+        let mut threads = Vec::new();
+        let mut version = VERSION;
+
+        for a in 0..nodes as u32 {
+            for b in (a + 1)..nodes as u32 {
+                let (mut end_a, mut end_b) = connect_pair(backend)?;
+                // Both ends are in-process: write both HELLOs, then read
+                // both, so the exchange cannot deadlock.
+                for (end, node) in [(&mut end_a, a), (&mut end_b, b)] {
+                    let hello =
+                        encode_frame(&Frame::Hello { ver_min: VERSION, ver_max: VERSION, node })
+                            .expect("HELLO frames are tiny");
+                    end.write_all(&hello)?;
+                    end.flush()?;
+                }
+                let io_err = |e: String| std::io::Error::other(e);
+                let (hello_b, leftover_a) = read_one_frame(&mut end_a).map_err(io_err)?;
+                let (hello_a, leftover_b) = read_one_frame(&mut end_b).map_err(io_err)?;
+                for (hello, expect_node) in [(hello_b, b), (hello_a, a)] {
+                    let Frame::Hello { ver_min, ver_max, node } = hello else {
+                        return Err(io_err(format!("expected HELLO, got {hello:?}")));
+                    };
+                    assert_eq!(node, expect_node, "HELLO carried the wrong node id");
+                    version = negotiate((VERSION, VERSION), (ver_min, ver_max))
+                        .map_err(|e| io_err(e.to_string()))?;
+                }
+
+                let writer_a: Writer = Arc::new(Mutex::new(end_a.try_clone()?));
+                let writer_b: Writer = Arc::new(Mutex::new(end_b.try_clone()?));
+                writers.insert((a, b), Arc::clone(&writer_a));
+                writers.insert((b, a), Arc::clone(&writer_b));
+
+                // One reader per end: end A hears node B's DATA (streams
+                // b->a) and ACKs for its own sends (stream a->b).
+                for (end, own_writer, reader, own, peer) in [
+                    (end_a, Arc::clone(&writer_a), leftover_a, a, b),
+                    (end_b, Arc::clone(&writer_b), leftover_b, b, a),
+                ] {
+                    let shared = Arc::clone(&shared);
+                    let node_of = Arc::clone(&node_of);
+                    threads.push(std::thread::spawn(move || {
+                        reader_loop(
+                            end, own_writer, reader, own, peer, nodes, version, shared, node_of,
+                        );
+                    }));
+                }
+            }
+        }
+
+        let writers = Arc::new(writers);
+        threads.push(spawn_retransmit_timer(Arc::clone(&shared), Arc::clone(&writers), nodes));
+
+        Ok(Fabric {
+            shared,
+            writers,
+            node_of,
+            nodes,
+            backend,
+            drops,
+            version,
+            send_seqr: PairSequencer::new(nodes * nodes),
+            threads,
+            down: false,
+        })
+    }
+
+    /// Which socket flavor this fabric runs over.
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Snapshot of the wire tally.
+    pub(crate) fn counts(&self) -> WireCounts {
+        self.shared.0.lock().unwrap().counts
+    }
+
+    /// A counts handle that outlives this fabric's owner.
+    pub(crate) fn counts_probe(&self) -> WireCountsProbe {
+        WireCountsProbe(Arc::clone(&self.shared))
+    }
+
+    /// Encodes and transmits one protocol message from processor `src` to
+    /// processor `dst` (which must be on different nodes), stamping the
+    /// next position on their node-pair stream and remembering the frame
+    /// until it is acknowledged. Honors the [`DropPlan`] by suppressing
+    /// the first transmission of selected frames.
+    pub(crate) fn send_data(&mut self, src: u32, dst: u32, via_vnode: bool, msg: &ProtoMsg) {
+        let (sn, dn) = (self.node_of[src as usize], self.node_of[dst as usize]);
+        debug_assert_ne!(sn, dn, "intra-node messages never touch the wire");
+        let stream = sn as usize * self.nodes + dn as usize;
+        let pair_seq = self.send_seqr.stamp(stream);
+        let bytes = encode_frame(&Frame::Data(DataFrame {
+            version: self.version,
+            src,
+            dst,
+            pair_seq,
+            via_vnode,
+            msg: msg.clone(),
+        }))
+        .expect("protocol messages fit in a frame");
+
+        let drop_this = {
+            let mut st = self.shared.0.lock().unwrap();
+            st.counts.data_frames += 1;
+            let drop_this = self.drops.drop_every > 0
+                && st.counts.data_frames.is_multiple_of(self.drops.drop_every);
+            if drop_this {
+                st.counts.induced_drops += 1;
+            }
+            st.unacked
+                .entry(stream)
+                .or_default()
+                .insert(pair_seq, Unacked { bytes: bytes.clone(), last_sent: Instant::now() });
+            drop_this
+        };
+        if !drop_this {
+            if let Err(e) = write_frame(&self.writers[&(sn, dn)], &bytes) {
+                self.poison(format!("send {sn}->{dn}: {e}"));
+            }
+        }
+    }
+
+    /// Blocks until the wire delivers the next message on the
+    /// `(src processor, dst processor)` queue and returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread died, or if nothing arrives within the
+    /// watchdog interval (a lost frame whose retransmissions also vanish —
+    /// impossible over healthy loopback).
+    pub(crate) fn recv(&self, src: u32, dst: u32) -> ProtoMsg {
+        let (lock, cv) = &*self.shared;
+        let mut st = lock.lock().unwrap();
+        let deadline = Instant::now() + RECV_WATCHDOG;
+        loop {
+            if let Some(err) = &st.error {
+                panic!("wire fabric failed: {err}");
+            }
+            if let Some(msg) = st.inboxes.get_mut(&(src, dst)).and_then(VecDeque::pop_front) {
+                return msg;
+            }
+            let (guard, timeout) = cv.wait_timeout(st, Duration::from_millis(50)).unwrap();
+            st = guard;
+            if timeout.timed_out() && Instant::now() >= deadline {
+                panic!(
+                    "wire watchdog: no {src}->{dst} message within {RECV_WATCHDOG:?} \
+                     (counts: {:?})",
+                    st.counts
+                );
+            }
+        }
+    }
+
+    fn poison(&self, err: String) {
+        let (lock, cv) = &*self.shared;
+        let mut st = lock.lock().unwrap();
+        st.error.get_or_insert(err);
+        cv.notify_all();
+    }
+
+    /// Tears the fabric down: stops the workers, closes every socket, and
+    /// joins the threads. Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        {
+            let (lock, cv) = &*self.shared;
+            let mut st = lock.lock().unwrap();
+            st.shutting_down = true;
+            cv.notify_all();
+        }
+        let bye = encode_frame(&Frame::Bye).expect("BYE is tiny");
+        for writer in self.writers.values() {
+            let _ = write_frame(writer, &bye);
+        }
+        for writer in self.writers.values() {
+            writer.lock().unwrap().shutdown_both();
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One socket end's receive loop: reassemble frames, run `DATA` through
+/// the delivery guard (answering with a cumulative `ACK`), clear `ACK`ed
+/// frames from the local send buffer, exit on `BYE`, socket close, or
+/// fabric shutdown.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    mut sock: Sock,
+    own_writer: Writer,
+    mut reader: FrameReader,
+    own: u32,
+    peer: u32,
+    nodes: usize,
+    version: u8,
+    shared: Arc<(Mutex<WireState>, Condvar)>,
+    node_of: Arc<Vec<u32>>,
+) {
+    let (lock, cv) = &*shared;
+    let mut buf = [0u8; 16 * 1024];
+    'outer: loop {
+        loop {
+            let frame = match reader.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(e) => {
+                    let mut st = lock.lock().unwrap();
+                    st.error.get_or_insert(format!("node {own} reading from {peer}: {e}"));
+                    cv.notify_all();
+                    return;
+                }
+            };
+            match frame {
+                Frame::Data(data) => {
+                    let cum_seq = {
+                        let mut st = lock.lock().unwrap();
+                        let cum = st.accept_data(data, &node_of, nodes);
+                        st.counts.acks_sent += 1;
+                        cv.notify_all();
+                        cum
+                    };
+                    let ack = encode_frame(&Frame::Ack { version, cum_seq }).expect("ACK is tiny");
+                    // Best-effort: a lost ACK only costs a retransmission.
+                    let _ = write_frame(&own_writer, &ack);
+                }
+                Frame::Ack { cum_seq, .. } => {
+                    // Acknowledges our own sends toward the peer.
+                    let stream = own as usize * nodes + peer as usize;
+                    let mut st = lock.lock().unwrap();
+                    if let Some(pending) = st.unacked.get_mut(&stream) {
+                        *pending = pending.split_off(&(cum_seq + 1));
+                    }
+                }
+                Frame::Bye => break 'outer,
+                Frame::Hello { .. } => {
+                    let mut st = lock.lock().unwrap();
+                    st.error.get_or_insert(format!(
+                        "node {own}: unexpected HELLO from {peer} after handshake"
+                    ));
+                    cv.notify_all();
+                    return;
+                }
+            }
+        }
+        match sock.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reader.extend(&buf[..n]),
+            Err(_) => break, // shutdown or hard error; state poisoning is
+                             // the sender's job, ours is to exit.
+        }
+    }
+}
+
+/// The retransmit timer: periodically rescans every stream's unacked
+/// frames and resends those older than [`RETRANSMIT_TIMEOUT`].
+fn spawn_retransmit_timer(
+    shared: Arc<(Mutex<WireState>, Condvar)>,
+    writers: Arc<HashMap<(u32, u32), Writer>>,
+    nodes: usize,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let (lock, _cv) = &*shared;
+        loop {
+            std::thread::sleep(RETRANSMIT_TIMEOUT / 4);
+            // Collect due frames under the lock, write them outside it.
+            let mut due: Vec<((u32, u32), Vec<u8>)> = Vec::new();
+            {
+                let mut st = lock.lock().unwrap();
+                if st.shutting_down {
+                    return;
+                }
+                let now = Instant::now();
+                let mut resent = 0;
+                for (&stream, pending) in st.unacked.iter_mut() {
+                    let key = ((stream / nodes) as u32, (stream % nodes) as u32);
+                    for frame in pending.values_mut() {
+                        if now.duration_since(frame.last_sent) >= RETRANSMIT_TIMEOUT {
+                            frame.last_sent = now;
+                            resent += 1;
+                            due.push((key, frame.bytes.clone()));
+                        }
+                    }
+                }
+                st.counts.retransmits += resent;
+            }
+            for (key, bytes) in due {
+                let _ = write_frame(&writers[&key], &bytes);
+            }
+        }
+    })
+}

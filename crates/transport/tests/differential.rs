@@ -1,0 +1,95 @@
+//! Differential harness: the deterministic simulator is the oracle, and a
+//! run whose remote messages all crossed real sockets must produce exactly
+//! the same message, miss, and downgrade counters.
+//!
+//! These tests keep the debug-build test suite fast by covering one Table 2
+//! kernel per backend plus the retransmit-under-drop path; the release-mode
+//! `transport_bench` binary runs the *full* Table 2 set over both backends
+//! and asserts the same equalities (the acceptance criterion).
+
+use shasta_apps::driver::{registry, run_app, run_app_with_transport, Preset, Proto, RunConfig};
+use shasta_stats::RunStats;
+use shasta_transport::{Backend, DropPlan, LoopbackTransport};
+
+fn smp_tiny() -> RunConfig {
+    RunConfig::new(Proto::Smp, 8, 4)
+}
+
+fn run_sim(app_name: &str) -> RunStats {
+    let spec = registry().into_iter().find(|s| s.name == app_name).expect("app");
+    run_app((spec.build)(Preset::Tiny, true).as_ref(), &smp_tiny())
+}
+
+fn run_wire(app_name: &str, backend: Backend, drops: DropPlan) -> RunStats {
+    let spec = registry().into_iter().find(|s| s.name == app_name).expect("app");
+    run_app_with_transport((spec.build)(Preset::Tiny, true).as_ref(), &smp_tiny(), |topo, cost| {
+        Box::new(
+            LoopbackTransport::connect(topo.clone(), cost.clone(), backend, drops)
+                .expect("loopback fabric"),
+        )
+    })
+}
+
+/// Message, miss, and downgrade counters must be *exactly* equal; elapsed
+/// cycles too (the sim is the timing authority on both backends).
+fn assert_counters_match(app: &str, backend: &str, sim: &RunStats, wire: &RunStats) {
+    assert_eq!(sim.messages, wire.messages, "{app}/{backend}: message counters diverged");
+    assert_eq!(sim.misses, wire.misses, "{app}/{backend}: miss counters diverged");
+    assert_eq!(sim.downgrades, wire.downgrades, "{app}/{backend}: downgrade histogram diverged");
+    assert_eq!(
+        sim.elapsed_cycles, wire.elapsed_cycles,
+        "{app}/{backend}: simulated cycles diverged"
+    );
+}
+
+#[test]
+fn lu_over_uds_matches_the_simulator() {
+    let sim = run_sim("LU");
+    let wire = run_wire("LU", Backend::Uds, DropPlan::default());
+    assert_counters_match("LU", "uds", &sim, &wire);
+}
+
+#[test]
+fn lu_over_tcp_matches_the_simulator() {
+    let sim = run_sim("LU");
+    let wire = run_wire("LU", Backend::Tcp, DropPlan::default());
+    assert_counters_match("LU", "tcp", &sim, &wire);
+}
+
+#[test]
+fn water_over_uds_matches_the_simulator() {
+    let sim = run_sim("Water-Nsq");
+    let wire = run_wire("Water-Nsq", Backend::Uds, DropPlan::default());
+    assert_counters_match("Water-Nsq", "uds", &sim, &wire);
+}
+
+#[test]
+fn induced_drops_converge_via_retransmission() {
+    let sim = run_sim("LU");
+    // Drop every 7th first transmission: the retransmit timer must recover
+    // every one of them, and the counters must still match exactly.
+    let spec = registry().into_iter().find(|s| s.name == "LU").expect("app");
+    let app = (spec.build)(Preset::Tiny, true);
+    let mut probe = None;
+    let wire = run_app_with_transport(app.as_ref(), &smp_tiny(), |topo, cost| {
+        let t = LoopbackTransport::connect(
+            topo.clone(),
+            cost.clone(),
+            Backend::Uds,
+            DropPlan { drop_every: 7 },
+        )
+        .expect("loopback fabric");
+        probe = Some(t.counts_probe());
+        Box::new(t)
+    });
+    assert_counters_match("LU", "uds+drop", &sim, &wire);
+    let counts = probe.expect("factory ran").get();
+    assert!(counts.induced_drops > 0, "the drop plan never fired: {counts:?}");
+    assert!(
+        counts.retransmits >= counts.induced_drops,
+        "every induced drop must be recovered by a retransmission: {counts:?}"
+    );
+    // A recovered frame arrives after its successors, so drops exercise the
+    // hold/resequence path too.
+    assert!(counts.holds > 0 && counts.resequenced > 0, "drops never forced a hold: {counts:?}");
+}

@@ -176,6 +176,44 @@ def advisor_sweep(doc):
             )
 
 
+def transport(doc):
+    runs = doc.get("runs")
+    if runs is None:  # tolerate a hand-made single-run file
+        runs = [doc]
+    print(f"{len(runs)} recorded run(s); per run: differential / retransmit criteria")
+    for i, run in enumerate(runs, 1):
+        cfg = run.get("config", {})
+        summ = run.get("summary", {})
+        print(
+            f"  run #{i}: quick={cfg.get('quick', '?')} "
+            f"differential_pass={summ.get('differential_pass', '?')} "
+            f"retransmit_pass={summ.get('retransmit_pass', '?')} "
+            f"total_wall_ms={summ.get('total_wall_ms', '?')}"
+        )
+    last = runs[-1]
+    for h in last.get("handshake", []):
+        print(f"  handshake {h.get('backend', '?'):<4} {h.get('connect_ms', 0):7.3f} ms")
+    for r in last.get("round_trip", []):
+        print(f"  round-trip {r.get('backend', '?'):<4} {r.get('rtt_us', 0):7.2f} us")
+    rows = last.get("differential", [])
+    if rows:
+        print("  latest run, per kernel/backend:")
+        w = max(len(r.get("app", "?")) for r in rows)
+        for r in rows:
+            print(
+                f"    {r.get('app', '?'):<{w}}  {r.get('backend', '?'):<4} "
+                f"counters {'equal' if r.get('pass') else 'DIVERGED'}  "
+                f"{r.get('wall_ms', 0):7.1f} ms"
+            )
+    rt = last.get("retransmit", {})
+    if rt:
+        print(
+            f"  retransmit: drops={rt.get('induced_drops', '?')} "
+            f"retransmits={rt.get('retransmits', '?')} holds={rt.get('holds', '?')} "
+            f"resequenced={rt.get('resequenced', '?')} pass={rt.get('pass', '?')}"
+        )
+
+
 def generic(doc):
     def scalars(prefix, obj):
         for key, val in obj.items():
@@ -207,6 +245,8 @@ for path in sys.argv[1:]:
         advisor_sweep(doc)
     elif path == "BENCH_fault_sweep.json":
         fault_sweep(doc)
+    elif path == "BENCH_transport.json":
+        transport(doc)
     else:
         generic(doc)
 print()

@@ -20,7 +20,7 @@ echo "==> rustdoc (deny warnings, shasta crates only: vendored stubs are not doc
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
   -p shasta -p shasta-sim -p shasta-cluster -p shasta-memchan -p shasta-core \
   -p shasta-stats -p shasta-obs -p shasta-apps -p shasta-fgdsm \
-  -p shasta-bench -p shasta-check
+  -p shasta-bench -p shasta-check -p shasta-transport
 
 echo "==> shasta-core builds with event recording compiled out"
 cargo build -p shasta-core --no-default-features
@@ -107,6 +107,26 @@ test -s "$fs_a" || { echo "fault_sweep JSON is empty"; exit 1; }
 test -s "$cx_a" || { echo "loss counterexample is empty"; exit 1; }
 diff -u "$cx_a" "$cx_b" || { echo "loss counterexample replay is not deterministic"; exit 1; }
 rm -f "$fs_a" "$fs_b" "$cx_a" "$cx_b"
+
+echo "==> transport smoke (--quick: differential counters over real UDS sockets)"
+# One Table 2 kernel with every cross-node message through a real
+# Unix-domain socket must produce counters exactly equal to the pure
+# simulator (the binary aborts otherwise), and the retransmit path must
+# converge under induced drops. Two independent invocations must emit a
+# byte-identical sim-oracle counters report — the simulated backend's
+# determinism diff.
+tb_a="$(mktemp /tmp/shasta-ci-transport-a.XXXXXX.json)"
+tb_b="$(mktemp /tmp/shasta-ci-transport-b.XXXXXX.json)"
+tc_a="$(mktemp /tmp/shasta-ci-transport-cnt-a.XXXXXX.txt)"
+tc_b="$(mktemp /tmp/shasta-ci-transport-cnt-b.XXXXXX.txt)"
+cargo run --release -p shasta-bench --bin transport_bench -- \
+  --quick --out "$tb_a" --counters "$tc_a" > /dev/null
+cargo run --release -p shasta-bench --bin transport_bench -- \
+  --quick --out "$tb_b" --counters "$tc_b" > /dev/null
+test -s "$tb_a" || { echo "transport_bench JSON is empty"; exit 1; }
+test -s "$tc_a" || { echo "transport counters report is empty"; exit 1; }
+diff -u "$tc_a" "$tc_b" || { echo "sim-backend counters are not deterministic"; exit 1; }
+rm -f "$tb_a" "$tb_b" "$tc_a" "$tc_b"
 
 echo "==> perf regression gate (tracked trajectories)"
 scripts/perf_gate.sh

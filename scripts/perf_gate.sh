@@ -13,6 +13,12 @@
 #                            total_wall_ms rose by more than 25% (the fault
 #                            fabric's admit guard lives on the delivery hot
 #                            path)
+#   BENCH_transport.json     fail if the last run's criterion booleans
+#                            (differential_pass, retransmit_pass) are not
+#                            both true — gated from the FIRST entry on —
+#                            or if total_wall_ms rose by more than 50%
+#                            (real-socket walls are noisier than simulated
+#                            ones)
 #
 # A file with fewer than two entries (or no file at all) is informational
 # only for the wall-time comparisons: the trajectory has nothing to compare
@@ -30,6 +36,7 @@ import sys
 OBS_MAX_DELTA_POINTS = 3.0
 HOST_MAX_RATIO = 1.15
 FAULT_MAX_RATIO = 1.25
+TRANSPORT_MAX_RATIO = 1.50
 
 failures = []
 
@@ -116,6 +123,33 @@ if runs:
             failures.append("fault-sweep wall-clock regressed")
     else:
         print("BENCH_fault_sweep.json: 1 entry; wall-time gate needs 2 — skipping")
+
+runs = all_runs_of("BENCH_transport.json")
+if runs:
+    summ = runs[-1]["summary"]
+    bools = ["differential_pass", "retransmit_pass"]
+    bad = [k for k in bools if summ.get(k) is not True]
+    verdict = "OK" if not bad else "FAIL"
+    print(
+        "BENCH_transport.json: "
+        + " ".join(f"{k}={summ.get(k)}" for k in bools)
+        + f" {verdict}"
+    )
+    if bad:
+        failures.append("transport criteria failed: " + ", ".join(bad))
+    if len(runs) >= 2:
+        prev = runs[-2]["summary"]["total_wall_ms"]
+        last = summ["total_wall_ms"]
+        ratio = last / prev if prev > 0 else float("inf")
+        verdict = "OK" if ratio <= TRANSPORT_MAX_RATIO else "FAIL"
+        print(
+            f"BENCH_transport.json: total_wall_ms {prev:.1f} -> {last:.1f} "
+            f"({ratio:.3f}x, limit {TRANSPORT_MAX_RATIO}x) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append("transport wall-clock regressed")
+    else:
+        print("BENCH_transport.json: 1 entry; wall-time gate needs 2 — skipping")
 
 if failures:
     print("perf gate FAILED: " + "; ".join(failures))

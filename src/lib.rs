@@ -20,9 +20,14 @@
 //! * [`apps`](mod@apps) — nine SPLASH-2-style kernels with sequential
 //!   references;
 //! * [`stats`](mod@stats) — the metrics behind every table and figure;
+//! * [`transport`](mod@transport) — the real loopback TCP / Unix-socket
+//!   transport speaking the versioned wire protocol of
+//!   `docs/TRANSPORT.md`, differentially tested against the simulator;
 //! * [`fgdsm`](mod@fgdsm) — the downgrade protocol implemented with real
 //!   OS threads and `Relaxed` atomics, including the losing strawman it
 //!   replaces.
+//!
+//! `docs/ARCHITECTURE.md` draws the crate map and dependency graph.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for paper-vs-measured results. The `examples/`
@@ -41,3 +46,4 @@ pub use shasta_fgdsm as fgdsm;
 pub use shasta_memchan as memchan;
 pub use shasta_sim as sim;
 pub use shasta_stats as stats;
+pub use shasta_transport as transport;
