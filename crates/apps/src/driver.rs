@@ -231,8 +231,115 @@ pub fn run_app_observed(
     cfg: &RunConfig,
     ring_capacity: usize,
 ) -> (RunStats, shasta_obs::EventLog) {
+    run_app_observed_shaped(app, cfg, ring_capacity, |_| {})
+}
+
+/// [`run_app_observed`] with a shaping hook: `shape` runs on the fully built
+/// machine (after setup and event recording are enabled, before the run) and
+/// is the place to install a heterogeneous link profile
+/// (`Machine::set_net_profile`), a metrics registry
+/// (`Machine::set_metrics`), or other per-experiment machine state.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_app`].
+pub fn run_app_observed_shaped(
+    app: &dyn DsmApp,
+    cfg: &RunConfig,
+    ring_capacity: usize,
+    shape: impl FnOnce(&mut Machine),
+) -> (RunStats, shasta_obs::EventLog) {
     let (mut machine, bodies) = build_machine(app, cfg);
     machine.enable_obs(ring_capacity);
+    shape(&mut machine);
+    let stats = machine.run(bodies);
+    (stats, machine.take_obs())
+}
+
+/// Runs `app` under `cfg` without event recording but with a shaping hook
+/// (see [`run_app_observed_shaped`]) — used to measure the standalone cost
+/// of e.g. a metrics registry without the event recorder in the way.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_app`].
+pub fn run_app_shaped(
+    app: &dyn DsmApp,
+    cfg: &RunConfig,
+    shape: impl FnOnce(&mut Machine),
+) -> RunStats {
+    let (mut machine, bodies) = build_machine(app, cfg);
+    shape(&mut machine);
+    machine.run(bodies)
+}
+
+/// [`run_app_with_transport`] with event recording enabled: the entry point
+/// for wire-aware trace exports (`transport_bench --trace`), where the
+/// engine's simulated timeline and the wire fabric's event log are captured
+/// from the same run and merged into one Chrome trace.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_app_with_transport`].
+pub fn run_app_observed_with_transport(
+    app: &dyn DsmApp,
+    cfg: &RunConfig,
+    ring_capacity: usize,
+    make: impl FnOnce(&Topology, &CostModel) -> Box<dyn Transport<ProtoMsg>>,
+) -> (RunStats, shasta_obs::EventLog) {
+    let (mut machine, bodies) = build_machine(app, cfg);
+    machine.enable_obs(ring_capacity);
+    let transport = make(machine.topology(), machine.cost_model());
+    machine.set_transport(transport);
+    let stats = machine.run(bodies);
+    (stats, machine.take_obs())
+}
+
+/// Runs `app` on a disaggregated **memory-home** cluster with event
+/// recording: the SMP topology gains one extra physical node whose
+/// processors execute no application body — they only service the home
+/// directories and protocol messages of whatever blocks the allocator homes
+/// there — and barriers wait only for the `cfg.procs` compute processors
+/// (the same shape as the checker's `ClusterKind::MemoryHome`).
+///
+/// # Panics
+///
+/// Panics on invalid topologies and under the same conditions as
+/// [`run_app`]. Only `Proto::Smp` configs are meaningful here.
+pub fn run_app_observed_memory_home(
+    app: &dyn DsmApp,
+    cfg: &RunConfig,
+    ring_capacity: usize,
+    shape: impl FnOnce(&mut Machine),
+) -> (RunStats, shasta_obs::EventLog) {
+    assert_eq!(cfg.proto, Proto::Smp, "the memory-home shape is an SMP-Shasta experiment");
+    // Mirror `paper_placement`'s node size, then append one whole node of
+    // memory-only processors.
+    let per_node = cfg.procs.min(4);
+    let topo = Topology::new(cfg.procs + per_node, per_node, cfg.clustering).expect("topology");
+    let mut proto_cfg = ProtocolConfig::smp();
+    if proto_cfg.check.enabled {
+        let (_, smp_pm) = app.check_permille();
+        proto_cfg.check.per_compute_permille = smp_pm;
+    }
+    let mut machine = Machine::new(topo, cfg.cost.clone(), proto_cfg, app.heap_bytes());
+    if let Some(hints) = &cfg.site_hints {
+        machine.set_site_hints(hints.clone());
+    }
+    let opts = PlanOpts {
+        procs: cfg.procs,
+        variable_granularity: cfg.variable_granularity,
+        validate: cfg.validate,
+    };
+    let mut bodies = machine.setup(|s| app.plan(s, &opts));
+    assert_eq!(bodies.len(), cfg.procs as usize, "plan must produce one body per compute proc");
+    // Memory-node processors finish immediately but keep serving messages.
+    while bodies.len() < (cfg.procs + per_node) as usize {
+        bodies.push(Box::new(|_dsm| {}));
+    }
+    machine.set_barrier_participants(cfg.procs);
+    machine.enable_obs(ring_capacity);
+    shape(&mut machine);
     let stats = machine.run(bodies);
     (stats, machine.take_obs())
 }

@@ -8,10 +8,15 @@
 //! and the binary panics on any divergence, so the two accountings can never
 //! drift apart silently. Pass `--trace <path>` to also export the first
 //! run's timeline as Chrome `trace_event` JSON.
+//!
+//! `--metrics` attaches a live metrics registry to every run. The registry
+//! is never printed — the flag exists so `scripts/ci.sh` can byte-diff the
+//! figure with metrics off vs on and prove recording perturbs nothing.
 
 use shasta_apps::{registry, Proto};
 use shasta_bench::{
-    breakdown_bar_from, preset_from_args, run_observed, trace_path_from_args, write_chrome_trace,
+    breakdown_bar_from, preset_from_args, run_observed, run_observed_metrics, trace_path_from_args,
+    write_chrome_trace,
 };
 use shasta_obs::EventLog;
 use shasta_stats::RunStats;
@@ -29,6 +34,8 @@ fn derived_bar(label: &str, stats: &RunStats, log: &EventLog, norm: u64) -> Stri
 fn main() {
     let preset = preset_from_args();
     let mut trace = trace_path_from_args();
+    let metrics = std::env::args().any(|a| a == "--metrics");
+    let observe = if metrics { run_observed_metrics } else { run_observed };
     println!(
         "Figure 4: execution-time breakdowns, normalized to Base-Shasta ({preset:?} inputs)\n"
     );
@@ -36,14 +43,14 @@ fn main() {
         println!("=== {procs}-processor runs ===");
         for spec in registry() {
             println!("{}:", spec.name);
-            let (base, log) = run_observed(&spec, preset, Proto::Base, procs, 1, false);
+            let (base, log) = observe(&spec, preset, Proto::Base, procs, 1, false);
             let norm = base.elapsed_cycles;
             println!("  {}", derived_bar("B", &base, &log, norm));
             if let Some(path) = trace.take() {
                 write_chrome_trace(&path, &log);
             }
             for clustering in [1u32, 2, 4] {
-                let (st, log) = run_observed(&spec, preset, Proto::Smp, procs, clustering, false);
+                let (st, log) = observe(&spec, preset, Proto::Smp, procs, clustering, false);
                 println!("  {}", derived_bar(&format!("C{clustering}"), &st, &log, norm));
             }
         }

@@ -4,11 +4,13 @@
 //!
 //! Each application runs at two configurations — Base-Shasta on 8
 //! processors and clustered SMP-Shasta (clustering 4) on the same 8
-//! processors — twice each: once with the recorder disabled (the default —
-//! one predicted branch per hook) and once with full event recording into
-//! the per-processor rings. Simulated cycle counts must be bit-identical —
+//! processors — three times each: once with all observation disabled (the
+//! default — one predicted branch per hook), once with full event recording
+//! into the per-processor rings, and once with a live metrics registry (no
+//! event recorder) so the standalone cost of the metrics layer is measured
+//! too. Simulated cycle counts must be bit-identical across all three —
 //! observation never advances the simulated clock — and the JSON records
-//! the host wall-time ratio, which is the only real cost of the layer.
+//! the host wall-time ratios, which are the only real cost of the layer.
 //!
 //! The output file is a **trajectory**: every invocation appends one run
 //! object to the `"runs"` array (a legacy single-run file is wrapped as the
@@ -27,7 +29,7 @@
 use std::time::Instant;
 
 use shasta_apps::{AppSpec, Preset, Proto};
-use shasta_bench::{apps_for, preset_from_args, run, run_observed, trajectory};
+use shasta_bench::{apps_for, preset_from_args, run, run_observed, run_with_metrics, trajectory};
 use shasta_check::{par_map, resolve_jobs};
 
 const PROCS: u32 = 8;
@@ -40,8 +42,10 @@ struct Row {
     config: &'static str,
     cycles_off: u64,
     cycles_on: u64,
+    cycles_metrics: u64,
     wall_off_ms: f64,
     wall_on_ms: f64,
+    wall_metrics_ms: f64,
     events: usize,
 }
 
@@ -49,10 +53,25 @@ impl Row {
     fn overhead_pct(&self) -> f64 {
         (self.wall_on_ms / self.wall_off_ms - 1.0) * 100.0
     }
+
+    fn metrics_overhead_pct(&self) -> f64 {
+        (self.wall_metrics_ms / self.wall_off_ms - 1.0) * 100.0
+    }
+
+    fn identical(&self) -> bool {
+        self.cycles_off == self.cycles_on && self.cycles_off == self.cycles_metrics
+    }
 }
 
 /// Renders one run object (the trajectory entry this invocation adds).
-fn run_json(preset: &str, reps: u32, rows: &[Row], identical: bool, max_pct: f64) -> String {
+fn run_json(
+    preset: &str,
+    reps: u32,
+    rows: &[Row],
+    identical: bool,
+    max_pct: f64,
+    max_metrics_pct: f64,
+) -> String {
     let stamp = trajectory::unix_stamp();
     let mut json = String::from("    {\n");
     json.push_str(&format!(
@@ -61,21 +80,23 @@ fn run_json(preset: &str, reps: u32, rows: &[Row], identical: bool, max_pct: f64
     json.push_str("      \"apps\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "        {{\"name\": \"{}\", \"proto\": \"{}\", \"cycles_off\": {}, \"cycles_on\": {}, \"wall_ms_off\": {:.2}, \"wall_ms_on\": {:.2}, \"recording_overhead_pct\": {:.2}, \"events\": {}}}{}\n",
+            "        {{\"name\": \"{}\", \"proto\": \"{}\", \"cycles_off\": {}, \"cycles_on\": {}, \"wall_ms_off\": {:.2}, \"wall_ms_on\": {:.2}, \"wall_ms_metrics\": {:.2}, \"recording_overhead_pct\": {:.2}, \"metrics_overhead_pct\": {:.2}, \"events\": {}}}{}\n",
             r.name,
             r.config,
             r.cycles_off,
             r.cycles_on,
             r.wall_off_ms,
             r.wall_on_ms,
+            r.wall_metrics_ms,
             r.overhead_pct(),
+            r.metrics_overhead_pct(),
             r.events,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     json.push_str("      ],\n");
     json.push_str(&format!(
-        "      \"summary\": {{\"simulated_cycles_identical\": {identical}, \"max_recording_overhead_pct\": {max_pct:.2}}}\n"
+        "      \"summary\": {{\"simulated_cycles_identical\": {identical}, \"max_recording_overhead_pct\": {max_pct:.2}, \"max_metrics_overhead_pct\": {max_metrics_pct:.2}}}\n"
     ));
     json.push_str("    }");
     json
@@ -94,8 +115,10 @@ fn measure(
     // Best-of-N wall time filters scheduler noise on the host.
     let mut wall_off = f64::INFINITY;
     let mut wall_on = f64::INFINITY;
+    let mut wall_metrics = f64::INFINITY;
     let mut cycles_off = 0;
     let mut cycles_on = 0;
+    let mut cycles_metrics = 0;
     let mut events = 0;
     for _ in 0..reps {
         let t = Instant::now();
@@ -106,14 +129,20 @@ fn measure(
         wall_on = wall_on.min(t.elapsed().as_secs_f64() * 1e3);
         cycles_on = stats.elapsed_cycles;
         events = log.len() + log.dropped() as usize;
+        let t = Instant::now();
+        cycles_metrics =
+            run_with_metrics(spec, preset, proto, PROCS, clustering, false).elapsed_cycles;
+        wall_metrics = wall_metrics.min(t.elapsed().as_secs_f64() * 1e3);
     }
     Row {
         name: spec.name,
         config,
         cycles_off,
         cycles_on,
+        cycles_metrics,
         wall_off_ms: wall_off,
         wall_on_ms: wall_on,
+        wall_metrics_ms: wall_metrics,
         events,
     }
 }
@@ -144,26 +173,31 @@ fn main() {
     });
     for row in &rows {
         println!(
-            "{:<7} {:<10} cycles off/on {}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%), {} events",
+            "{:<7} {:<10} cycles off/on/metrics {}/{}/{} ({}) wall {:.1}ms -> {:.1}ms ({:+.1}%) / {:.1}ms ({:+.1}%), {} events",
             row.config,
             row.name,
             row.cycles_off,
             row.cycles_on,
-            if row.cycles_off == row.cycles_on { "identical" } else { "DIVERGED" },
+            row.cycles_metrics,
+            if row.identical() { "identical" } else { "DIVERGED" },
             row.wall_off_ms,
             row.wall_on_ms,
             row.overhead_pct(),
+            row.wall_metrics_ms,
+            row.metrics_overhead_pct(),
             row.events,
         );
     }
 
-    let identical = rows.iter().all(|r| r.cycles_off == r.cycles_on);
+    let identical = rows.iter().all(Row::identical);
     let max_pct = rows.iter().map(Row::overhead_pct).fold(f64::NEG_INFINITY, f64::max);
+    let max_metrics_pct =
+        rows.iter().map(Row::metrics_overhead_pct).fold(f64::NEG_INFINITY, f64::max);
 
-    let entry = run_json(&format!("{preset:?}"), reps, &rows, identical, max_pct);
+    let entry = run_json(&format!("{preset:?}"), reps, &rows, identical, max_pct, max_metrics_pct);
     let appended = trajectory::append(&out, "apps", entry);
     println!(
-        "\nsimulated cycles identical: {identical}; max recording overhead {max_pct:.1}%\nwrote {out} (trajectory run #{appended})"
+        "\nsimulated cycles identical: {identical}; max recording overhead {max_pct:.1}%; max metrics overhead {max_metrics_pct:.1}%\nwrote {out} (trajectory run #{appended})"
     );
-    assert!(identical, "recording must not perturb simulated time");
+    assert!(identical, "observation must not perturb simulated time");
 }

@@ -1,0 +1,243 @@
+//! Per-topology execution-time breakdown trajectories: sweeps the checker's
+//! cluster shapes (`ClusterKind`) over Table 2 kernels on 8-processor
+//! SMP-Shasta (clustering 4) and appends Figure 3/4-style breakdowns to the
+//! `BENCH_topology_breakdown.json` trajectory.
+//!
+//! Every cell runs **twice** — once bare and once with a live metrics
+//! registry attached — and the binary asserts three invariants:
+//!
+//! * the event-derived breakdown cross-checks exactly (zero tolerance)
+//!   against the `shasta-stats` counters, and the categories plus idle sum
+//!   to the processors' spans, so the printed bars account for every cycle;
+//! * the two runs' simulated statistics are bit-identical — metrics
+//!   recording never perturbs simulated time;
+//! * the per-link occupancy counters reported by the metrics registry are
+//!   consistent with a run that actually moved protocol traffic.
+//!
+//! ```text
+//! topology_breakdown [--quick] [--preset tiny|default|large] [--out PATH]
+//! ```
+//!
+//! `--quick` restricts the sweep to LU at the tiny preset (the CI smoke
+//! configuration); the full sweep covers LU, Volrend and Water-Nsq.
+
+use std::time::Instant;
+
+use shasta_apps::{
+    run_app_observed_memory_home, run_app_observed_shaped, AppSpec, Preset, Proto, RunConfig,
+};
+use shasta_bench::{
+    apps_for, breakdown_bar_from, preset_from_args, trajectory, TRACE_RING_CAPACITY,
+};
+use shasta_check::{cluster_kinds, ClusterKind};
+use shasta_core::{Machine, NetProfile};
+use shasta_obs::{EventLog, Registry};
+use shasta_stats::{RunStats, TimeCat};
+
+const PROCS: u32 = 8;
+const CLUSTERING: u32 = 4;
+
+/// The full sweep's kernels (all in Table 2); `--quick` keeps only LU.
+const KERNELS: [&str; 3] = ["LU", "Volrend", "Water-Nsq"];
+
+struct Cell {
+    kind: ClusterKind,
+    app: &'static str,
+    stats: RunStats,
+    log: EventLog,
+    /// Simulated stats of the metrics-on twin run (must equal `stats`).
+    stats_metrics: RunStats,
+    /// Sum of `cluster.link.occupancy_cycles.*` from the metrics-on run.
+    link_occupancy_cycles: u64,
+    wall_ms: f64,
+}
+
+impl Cell {
+    /// Zero-tolerance accounting check: the event-derived per-category
+    /// breakdown must match the counter-based one exactly, and categories
+    /// plus idle must sum to the processors' spans.
+    fn crosscheck_pass(&self) -> bool {
+        if self.log.fig4().crosscheck(&self.stats).is_err() {
+            return false;
+        }
+        let agg = self.log.fig4();
+        let (mut idle, mut overlap, mut span) = (0u64, 0u64, 0u64);
+        for p in 0..agg.procs() as u32 {
+            idle += agg.idle(p);
+            overlap += agg.overlap(p);
+            span += agg.span(p);
+        }
+        agg.total_breakdown().total() + idle - overlap == span
+    }
+
+    fn metrics_identity(&self) -> bool {
+        self.stats == self.stats_metrics
+    }
+}
+
+/// Runs one `(kind, app)` cell, mirroring the checker's `build_machine`
+/// shaping for each [`ClusterKind`] exactly. `registry`, when given, is
+/// attached to the machine after shaping.
+fn run_cell(
+    kind: ClusterKind,
+    spec: &AppSpec,
+    preset: Preset,
+    registry: Option<&Registry>,
+) -> (RunStats, EventLog) {
+    let app = (spec.build)(preset, false);
+    let cfg = RunConfig::new(Proto::Smp, PROCS, CLUSTERING);
+    let shape = move |m: &mut Machine| {
+        let nodes = m.topology().phys_nodes();
+        let cost = m.cost_model().clone();
+        match kind {
+            // MemoryHome's shape lives in the topology itself (the extra
+            // memory-only node), installed by the driver helper below.
+            ClusterKind::Uniform | ClusterKind::MemoryHome => {}
+            ClusterKind::UniformExplicit => {
+                m.set_net_profile(NetProfile::uniform(nodes, &cost));
+            }
+            ClusterKind::AsymLinks => {
+                m.set_net_profile(
+                    NetProfile::uniform(nodes, &cost)
+                        .scale_link_bandwidth(nodes - 1, 4)
+                        .scale_node_latency(nodes - 1, 3),
+                );
+            }
+        }
+        if let Some(reg) = registry {
+            m.set_metrics(reg);
+        }
+    };
+    match kind {
+        ClusterKind::MemoryHome => {
+            run_app_observed_memory_home(app.as_ref(), &cfg, TRACE_RING_CAPACITY, shape)
+        }
+        _ => run_app_observed_shaped(app.as_ref(), &cfg, TRACE_RING_CAPACITY, shape),
+    }
+}
+
+fn measure(kind: ClusterKind, spec: &AppSpec, preset: Preset) -> Cell {
+    let t = Instant::now();
+    let (stats, log) = run_cell(kind, spec, preset, None);
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let reg = Registry::enabled();
+    let (stats_metrics, _) = run_cell(kind, spec, preset, Some(&reg));
+    let snap = reg.snapshot();
+    let link_occupancy_cycles = snap
+        .with_prefix("cluster.link.occupancy_cycles.")
+        .map(|e| match e.value {
+            shasta_stats::MetricValue::Counter(v) => v,
+            _ => 0,
+        })
+        .sum();
+    Cell { kind, app: spec.name, stats, log, stats_metrics, link_occupancy_cycles, wall_ms }
+}
+
+/// Renders one run object (the trajectory entry this invocation adds).
+fn run_json(quick: bool, preset: &str, cells: &[Cell], total_wall_ms: f64) -> String {
+    let stamp = trajectory::unix_stamp();
+    let mut json = String::from("    {\n");
+    json.push_str(&format!(
+        "      \"config\": {{\"quick\": {quick}, \"preset\": \"{preset}\", \"procs\": {PROCS}, \"clustering\": {CLUSTERING}, \"unix_time\": {stamp}}},\n"
+    ));
+    json.push_str("      \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let agg = c.log.fig4();
+        let total = agg.total_breakdown();
+        let (mut idle, mut span) = (0u64, 0u64);
+        for p in 0..agg.procs() as u32 {
+            idle += agg.idle(p);
+            span += agg.span(p);
+        }
+        let comps: Vec<String> = TimeCat::ALL
+            .into_iter()
+            .map(|cat| format!("\"{}\": {}", cat.label(), total.get(cat)))
+            .collect();
+        json.push_str(&format!(
+            "        {{\"kind\": \"{:?}\", \"app\": \"{}\", \"elapsed_cycles\": {}, \"components\": {{{}}}, \"idle_cycles\": {idle}, \"span_cycles\": {span}, \"link_occupancy_cycles\": {}, \"crosscheck_pass\": {}, \"metrics_identity\": {}, \"wall_ms\": {:.2}}}{}\n",
+            c.kind,
+            c.app,
+            c.stats.elapsed_cycles,
+            comps.join(", "),
+            c.link_occupancy_cycles,
+            c.crosscheck_pass(),
+            c.metrics_identity(),
+            c.wall_ms,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("      ],\n");
+    json.push_str(&format!(
+        "      \"summary\": {{\"crosscheck_pass\": {}, \"metrics_identity\": {}, \"total_wall_ms\": {total_wall_ms:.2}}}\n",
+        cells.iter().all(Cell::crosscheck_pass),
+        cells.iter().all(Cell::metrics_identity),
+    ));
+    json.push_str("    }");
+    json
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let preset = if quick { Preset::Tiny } else { preset_from_args() };
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_topology_breakdown.json".to_string());
+
+    let kernels: Vec<AppSpec> = apps_for(true, false)
+        .into_iter()
+        .filter(|s| if quick { s.name == "LU" } else { KERNELS.contains(&s.name) })
+        .collect();
+    assert!(!kernels.is_empty(), "kernel filter matched nothing");
+
+    println!(
+        "Per-topology breakdowns: {} on {PROCS}-processor SMP-Shasta C{CLUSTERING} ({preset:?} inputs)\n",
+        kernels.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+    );
+    let t0 = Instant::now();
+    let mut cells = Vec::new();
+    for spec in &kernels {
+        println!("{}:", spec.name);
+        let mut norm = 0u64;
+        for kind in cluster_kinds() {
+            let cell = measure(kind, spec, preset);
+            if norm == 0 {
+                // cluster_kinds() leads with Uniform: the bar baseline.
+                norm = cell.stats.elapsed_cycles;
+            }
+            println!(
+                "  {} [occupancy {} cycles, crosscheck {}, metrics {}]",
+                breakdown_bar_from(
+                    match cell.kind {
+                        ClusterKind::Uniform => "UNI",
+                        ClusterKind::UniformExplicit => "UNIE",
+                        ClusterKind::AsymLinks => "ASYM",
+                        ClusterKind::MemoryHome => "MEMH",
+                    },
+                    &cell.log.fig4().total_breakdown(),
+                    cell.stats.elapsed_cycles,
+                    norm,
+                ),
+                cell.link_occupancy_cycles,
+                if cell.crosscheck_pass() { "exact" } else { "DIVERGED" },
+                if cell.metrics_identity() { "identical" } else { "PERTURBED" },
+            );
+            cells.push(cell);
+        }
+        println!();
+    }
+    let total_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let crosscheck = cells.iter().all(Cell::crosscheck_pass);
+    let identity = cells.iter().all(Cell::metrics_identity);
+    let entry = run_json(quick, &format!("{preset:?}"), &cells, total_wall_ms);
+    let appended = trajectory::append(&out, "cells", entry);
+    println!(
+        "breakdowns account for every cycle: {crosscheck}; metrics runs identical: {identity}\nwrote {out} (trajectory run #{appended})"
+    );
+    assert!(crosscheck, "event-derived breakdown must account for every cycle");
+    assert!(identity, "metrics recording must not perturb simulated time");
+}

@@ -11,35 +11,50 @@
 //!    through the production codec, per backend (median of many RTTs).
 //! 3. **Differential** — every Table 2 kernel over both backends; the
 //!    message, miss, and downgrade counters and simulated cycles must equal
-//!    the pure-simulator oracle *exactly* (the acceptance criterion).
+//!    the pure-simulator oracle *exactly* (the acceptance criterion). A live
+//!    metrics registry rides every wire run: the per-node-pair ACK round-trip
+//!    histograms it reports (`wire.ack_rtt_ns.*` p50/p95/p99) land in the
+//!    trajectory, and every run must have sampled at least one pair.
 //! 4. **Retransmit** — LU with every 7th first transmission dropped; the
-//!    counters must still match and the drop/retransmit/hold machinery must
-//!    all have fired.
+//!    counters must still match, the drop/retransmit/hold machinery must
+//!    all have fired, and the registry's
+//!    `wire.retransmits.first_tx_dropped` counter must equal the fabric's
+//!    induced-drop tally **exactly** — two independent accountings of the
+//!    same loss events.
 //!
 //! The gate metric is `summary.total_wall_ms`; the criterion booleans
-//! (`differential_pass`, `retransmit_pass`) are asserted at exit so a
-//! regression aborts the binary rather than silently logging `false`.
+//! (`differential_pass`, `retransmit_pass`, `metrics_pass`) are asserted at
+//! exit so a regression aborts the binary rather than silently logging
+//! `false`.
 //!
 //! ```text
-//! transport_bench [--quick] [--out PATH] [--counters PATH]
+//! transport_bench [--quick] [--out PATH] [--counters PATH] [--trace PATH]
 //! ```
 //!
 //! `--quick` is the CI smoke configuration: one kernel (LU) over UDS plus
 //! the retransmit section. `--counters PATH` writes the sim-oracle counters
 //! of every kernel it ran to PATH; the report is derived purely from the
 //! deterministic simulator, so two independent invocations must produce
-//! byte-identical files — the CI determinism diff.
+//! byte-identical files — the CI determinism diff. `--trace PATH` runs LU
+//! once more over UDS with induced drops and writes a Chrome trace merging
+//! the engine's simulated timeline with the wire fabric's event log: each
+//! remote miss renders as one causal flow from the triggering check to its
+//! DATA frames on the wire.
 
 use std::io::{Read, Write};
 use std::time::Instant;
 
-use shasta_apps::driver::{registry, run_app, run_app_with_transport, Preset, Proto, RunConfig};
-use shasta_bench::trajectory;
+use shasta_apps::driver::{
+    registry, run_app, run_app_observed_with_transport, run_app_with_transport, Preset, Proto,
+    RunConfig,
+};
+use shasta_bench::{merge_wire_trace, trajectory, TRACE_RING_CAPACITY};
 use shasta_core::protocol::ProtoMsg;
 use shasta_core::space::Block;
-use shasta_stats::RunStats;
+use shasta_obs::Registry;
+use shasta_stats::{MetricValue, RunStats};
 use shasta_transport::wire::{encode_frame, DataFrame, Frame, FrameReader, VERSION};
-use shasta_transport::{Backend, DropPlan, LoopbackTransport};
+use shasta_transport::{Backend, DropPlan, LoopbackTransport, Transport as _};
 
 fn smp_tiny() -> RunConfig {
     RunConfig::new(Proto::Smp, 8, 4)
@@ -77,6 +92,7 @@ fn round_trip_us(backend: Backend, iters: usize) -> f64 {
         dst: 4,
         pair_seq: 1,
         via_vnode: false,
+        trace: 0,
         msg: ProtoMsg::ReadReq { block: Block { start: 0x4000, len: 64 } },
     });
     let bytes = encode_frame(&frame).expect("encode");
@@ -180,6 +196,26 @@ struct DiffRow {
     backend: Backend,
     pass: bool,
     wall_ms: f64,
+    /// Per-node-pair ACK round-trip summaries from the wire metrics
+    /// registry: (pair suffix e.g. `n0.n1`, count, p50, p95, p99), in ns.
+    ack_rtt_pairs: Vec<(String, u64, u64, u64, u64)>,
+}
+
+/// Extracts the sampled per-pair ACK-RTT histograms from a registry
+/// snapshot.
+fn ack_rtt_pairs(snap: &shasta_stats::Snapshot) -> Vec<(String, u64, u64, u64, u64)> {
+    snap.with_prefix("wire.ack_rtt_ns.")
+        .filter_map(|e| match e.value {
+            MetricValue::Hist { count, p50, p95, p99, .. } if count > 0 => Some((
+                e.name.trim_start_matches("wire.ack_rtt_ns.").to_string(),
+                count,
+                p50,
+                p95,
+                p99,
+            )),
+            _ => None,
+        })
+        .collect()
 }
 
 fn main() {
@@ -226,20 +262,21 @@ fn main() {
             spec.name, sim.messages, sim.misses, sim.downgrades, sim.elapsed_cycles
         ));
         for &backend in backends {
+            let reg = Registry::enabled();
             let t = Instant::now();
             let wire = run_app_with_transport(
                 (spec.build)(Preset::Tiny, true).as_ref(),
                 &cfg,
                 |tp, cm| {
-                    Box::new(
-                        LoopbackTransport::connect(
-                            tp.clone(),
-                            cm.clone(),
-                            backend,
-                            DropPlan::default(),
-                        )
-                        .expect("loopback fabric"),
+                    let mut transport = LoopbackTransport::connect(
+                        tp.clone(),
+                        cm.clone(),
+                        backend,
+                        DropPlan::default(),
                     )
+                    .expect("loopback fabric");
+                    transport.set_metrics(&reg);
+                    Box::new(transport)
                 },
             );
             let row = DiffRow {
@@ -247,50 +284,66 @@ fn main() {
                 backend,
                 pass: counters_equal(&sim, &wire),
                 wall_ms: t.elapsed().as_secs_f64() * 1e3,
+                ack_rtt_pairs: ack_rtt_pairs(&reg.snapshot()),
             };
             println!(
-                "differential {:<9} {:<4} counters {} ({:.1}ms)",
+                "differential {:<9} {:<4} counters {} ({:.1}ms, {} ACK-RTT pair(s) sampled)",
                 row.app,
                 backend.label(),
                 if row.pass { "equal" } else { "DIVERGED" },
-                row.wall_ms
+                row.wall_ms,
+                row.ack_rtt_pairs.len()
             );
             rows.push(row);
         }
     }
     let differential_pass = rows.iter().all(|r| r.pass);
+    // Every wire run crosses at least one node pair, so its registry must
+    // have timed at least one ACK round trip.
+    let metrics_pass = rows.iter().all(|r| !r.ack_rtt_pairs.is_empty());
 
     // --- Section 4: induced drops must converge via retransmission. ---
     let t = Instant::now();
     let lu = registry().into_iter().find(|s| s.name == "LU").expect("LU");
     let sim = run_app((lu.build)(Preset::Tiny, true).as_ref(), &cfg);
     let mut probe = None;
+    let retrans_reg = Registry::enabled();
     let wire = run_app_with_transport((lu.build)(Preset::Tiny, true).as_ref(), &cfg, |tp, cm| {
-        let transport = LoopbackTransport::connect(
+        let mut transport = LoopbackTransport::connect(
             tp.clone(),
             cm.clone(),
             Backend::Uds,
             DropPlan { drop_every: 7 },
         )
         .expect("loopback fabric");
+        transport.set_metrics(&retrans_reg);
         probe = Some(transport.counts_probe());
         Box::new(transport)
     });
     let counts = probe.expect("factory ran").get();
     let retransmit_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    // The registry classifies each timeout by cause; a frame whose *first*
+    // transmission was dropped is counted exactly once, so at quiescence
+    // this counter is a second, independent accounting of the fabric's
+    // induced-drop tally and the two must agree exactly.
+    let first_tx_dropped = retrans_reg.snapshot().counter("wire.retransmits.first_tx_dropped");
+    let metrics_match_drops = first_tx_dropped == counts.induced_drops;
     let retransmit_pass = counters_equal(&sim, &wire)
         && counts.induced_drops > 0
         && counts.retransmits >= counts.induced_drops
         && counts.holds > 0
-        && counts.resequenced > 0;
+        && counts.resequenced > 0
+        && metrics_match_drops;
     println!(
         "retransmit LU uds drop_every=7: counters {} drops={} retransmits={} holds={} \
-         resequenced={} ({retransmit_wall_ms:.1}ms)",
+         resequenced={} metric first_tx_dropped={} ({}) ({retransmit_wall_ms:.1}ms)",
         if counters_equal(&sim, &wire) { "equal" } else { "DIVERGED" },
         counts.induced_drops,
         counts.retransmits,
         counts.holds,
-        counts.resequenced
+        counts.resequenced,
+        first_tx_dropped,
+        if metrics_match_drops { "matches drops" } else { "MISMATCH" },
     );
 
     if let Some(path) = flag("--counters") {
@@ -326,30 +379,75 @@ fn main() {
     entry.push_str("      ],\n");
     entry.push_str("      \"differential\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let pairs: Vec<String> = r
+            .ack_rtt_pairs
+            .iter()
+            .map(|(pair, count, p50, p95, p99)| {
+                format!(
+                    "{{\"pair\": \"{pair}\", \"count\": {count}, \"p50_ns\": {p50}, \"p95_ns\": {p95}, \"p99_ns\": {p99}}}"
+                )
+            })
+            .collect();
         entry.push_str(&format!(
-            "        {{\"app\": \"{}\", \"backend\": \"{}\", \"pass\": {}, \"wall_ms\": {:.2}}}{}\n",
+            "        {{\"app\": \"{}\", \"backend\": \"{}\", \"pass\": {}, \"wall_ms\": {:.2}, \"ack_rtt_pairs\": [{}]}}{}\n",
             r.app,
             r.backend.label(),
             r.pass,
             r.wall_ms,
+            pairs.join(", "),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     entry.push_str("      ],\n");
     entry.push_str(&format!(
-        "      \"retransmit\": {{\"induced_drops\": {}, \"retransmits\": {}, \"holds\": {}, \"resequenced\": {}, \"pass\": {retransmit_pass}, \"wall_ms\": {retransmit_wall_ms:.2}}},\n",
+        "      \"retransmit\": {{\"induced_drops\": {}, \"retransmits\": {}, \"holds\": {}, \"resequenced\": {}, \"first_tx_dropped_metric\": {first_tx_dropped}, \"metrics_match_drops\": {metrics_match_drops}, \"pass\": {retransmit_pass}, \"wall_ms\": {retransmit_wall_ms:.2}}},\n",
         counts.induced_drops, counts.retransmits, counts.holds, counts.resequenced
     ));
     entry.push_str(&format!(
-        "      \"summary\": {{\"differential_pass\": {differential_pass}, \"retransmit_pass\": {retransmit_pass}, \"total_wall_ms\": {total_wall_ms:.2}}}\n"
+        "      \"summary\": {{\"differential_pass\": {differential_pass}, \"retransmit_pass\": {retransmit_pass}, \"metrics_pass\": {metrics_pass}, \"total_wall_ms\": {total_wall_ms:.2}}}\n"
     ));
     entry.push_str("    }");
 
     let appended = trajectory::append(&out, "differential", entry);
     println!(
-        "\ndifferential_pass={differential_pass} retransmit_pass={retransmit_pass}; gate metric \
-         total_wall_ms {total_wall_ms:.1}\nwrote {out} (trajectory run #{appended})"
+        "\ndifferential_pass={differential_pass} retransmit_pass={retransmit_pass} \
+         metrics_pass={metrics_pass}; gate metric total_wall_ms {total_wall_ms:.1}\nwrote {out} \
+         (trajectory run #{appended})"
     );
+
+    if let Some(path) = flag("--trace") {
+        // One more LU run over UDS with induced drops, capturing both the
+        // engine's simulated event log and the wire fabric's wall-clock
+        // event log, merged into a single Chrome trace (not part of the
+        // gate; timing here includes trace capture).
+        let mut events_probe = None;
+        let (_, log) = run_app_observed_with_transport(
+            (lu.build)(Preset::Tiny, true).as_ref(),
+            &cfg,
+            TRACE_RING_CAPACITY,
+            |tp, cm| {
+                let transport = LoopbackTransport::connect(
+                    tp.clone(),
+                    cm.clone(),
+                    Backend::Uds,
+                    DropPlan { drop_every: 7 },
+                )
+                .expect("loopback fabric");
+                events_probe = Some(transport.enable_wire_events());
+                Box::new(transport)
+            },
+        );
+        let events = events_probe.expect("factory ran").take();
+        let merged = merge_wire_trace(&shasta_obs::chrome::to_chrome_json(&log), &events);
+        std::fs::write(&path, merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!(
+            "wrote merged engine+wire Chrome trace ({} engine events, {} wire events) to {path}",
+            log.len(),
+            events.len()
+        );
+    }
+
     assert!(differential_pass, "a wire-backed run diverged from the simulator oracle");
     assert!(retransmit_pass, "induced drops did not converge via retransmission");
+    assert!(metrics_pass, "a wire run's metrics registry sampled no ACK round trips");
 }

@@ -12,7 +12,10 @@
 //!
 //! Run them all with `cargo run --release -p shasta-bench --bin all_experiments`.
 
-use shasta_apps::{registry, run_app, run_app_observed, AppSpec, Preset, Proto, RunConfig};
+use shasta_apps::{
+    registry, run_app, run_app_observed, run_app_observed_shaped, run_app_shaped, AppSpec, Preset,
+    Proto, RunConfig,
+};
 use shasta_obs::EventLog;
 use shasta_stats::{Breakdown, RunStats, TimeCat};
 
@@ -60,6 +63,49 @@ pub fn run_observed(
         cfg = cfg.variable_granularity();
     }
     run_app_observed(app.as_ref(), &cfg, TRACE_RING_CAPACITY)
+}
+
+/// [`run_observed`] with a live metrics registry attached to the machine's
+/// transport. The registry is write-only here: the caller gets the same
+/// `(stats, log)` pair, which must be identical to a metrics-off run —
+/// recording is purely additive (`scripts/ci.sh` byte-diffs Figure 4 both
+/// ways to enforce it).
+pub fn run_observed_metrics(
+    spec: &AppSpec,
+    preset: Preset,
+    proto: Proto,
+    procs: u32,
+    clustering: u32,
+    vg: bool,
+) -> (RunStats, EventLog) {
+    let app = (spec.build)(preset, false);
+    let mut cfg = RunConfig::new(proto, procs, clustering);
+    if vg {
+        cfg = cfg.variable_granularity();
+    }
+    run_app_observed_shaped(app.as_ref(), &cfg, TRACE_RING_CAPACITY, |m| {
+        m.set_metrics(&shasta_obs::Registry::enabled());
+    })
+}
+
+/// Runs `spec` with a live metrics registry but **no** event recording —
+/// the standalone cost of the metrics layer, measured by `obs_overhead`.
+pub fn run_with_metrics(
+    spec: &AppSpec,
+    preset: Preset,
+    proto: Proto,
+    procs: u32,
+    clustering: u32,
+    vg: bool,
+) -> RunStats {
+    let app = (spec.build)(preset, false);
+    let mut cfg = RunConfig::new(proto, procs, clustering);
+    if vg {
+        cfg = cfg.variable_granularity();
+    }
+    run_app_shaped(app.as_ref(), &cfg, |m| {
+        m.set_metrics(&shasta_obs::Registry::enabled());
+    })
 }
 
 /// Sequential baseline cycles for `spec` at `preset`.
@@ -119,6 +165,66 @@ pub fn write_chrome_trace(path: &str, log: &EventLog) {
     std::fs::write(path, shasta_obs::chrome::to_chrome_json(log))
         .unwrap_or_else(|e| panic!("cannot write trace to {path}: {e}"));
     eprintln!("wrote Chrome trace ({} events) to {path}", log.len());
+}
+
+/// Splices the wire fabric's event log into an engine-side Chrome trace:
+/// wire events become instant markers on a second trace process (`pid` 1,
+/// one row per physical node), and every event carrying a nonzero trace
+/// context additionally emits a flow **step** bound to the engine-side flow
+/// **start** of the same miss id — so one miss renders as a single causal
+/// arrow spanning the simulator and the wire (see `docs/TRANSPORT.md` §6).
+///
+/// The two processes count time in different units — engine rows in
+/// simulated cycles, wire rows in wall-clock microseconds since wire-event
+/// recording was enabled — which Chrome/Perfetto display side by side;
+/// flows still bind purely by `(cat, name, id)`.
+///
+/// # Panics
+///
+/// Panics if `engine_json` is not an exporter-shaped trace document
+/// (`...]}` tail), which would mean it did not come from
+/// [`shasta_obs::chrome::to_chrome_json`].
+pub fn merge_wire_trace(engine_json: &str, events: &[shasta_transport::WireEvent]) -> String {
+    use shasta_obs::chrome::{MISS_FLOW_CAT, MISS_FLOW_NAME};
+    use std::fmt::Write as _;
+    let body = engine_json
+        .strip_suffix("]}")
+        .unwrap_or_else(|| panic!("engine trace does not end in ']}}'"));
+    let mut out = String::with_capacity(engine_json.len() + 160 * events.len() + 256);
+    out.push_str(body);
+    let _ = write!(
+        out,
+        ",{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"wire fabric (wall-clock us)\"}}}}"
+    );
+    let mut nodes: Vec<u32> = events.iter().map(|e| e.src_node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    for n in &nodes {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{n},\
+             \"args\":{{\"name\":\"node {n} tx\"}}}}"
+        );
+    }
+    for e in events {
+        let _ = write!(
+            out,
+            ",{{\"name\":\"{}\",\"cat\":\"wire\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+             \"tid\":{},\"ts\":{},\"args\":{{\"src\":{},\"dst\":{},\"seq\":{},\"trace\":{}}}}}",
+            e.kind, e.src_node, e.t_us, e.src_node, e.dst_node, e.seq, e.trace
+        );
+        if e.trace != 0 {
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{MISS_FLOW_NAME}\",\"cat\":\"{MISS_FLOW_CAT}\",\"ph\":\"t\",\
+                 \"id\":{},\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                e.trace, e.src_node, e.t_us
+            );
+        }
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Applications selected for a table, in registry order.
@@ -255,5 +361,47 @@ mod tests {
         assert_eq!(apps_for(false, false).len(), 9);
         assert_eq!(apps_for(true, false).len(), 6);
         assert_eq!(apps_for(false, true).len(), 7);
+    }
+
+    #[test]
+    fn merged_wire_trace_parses_and_carries_flow_steps() {
+        // The exporter always leads with a process_name metadata record, so
+        // this literal matches the real `to_chrome_json` document shape.
+        let engine = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                      {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                      \"args\":{\"name\":\"shasta simulated run\"}}]}";
+        let events = vec![
+            shasta_transport::WireEvent {
+                t_us: 10,
+                kind: "data_tx",
+                src_node: 0,
+                dst_node: 1,
+                seq: 1,
+                trace: 7,
+            },
+            shasta_transport::WireEvent {
+                t_us: 25,
+                kind: "ack_rx",
+                src_node: 1,
+                dst_node: 0,
+                seq: 1,
+                trace: 0,
+            },
+        ];
+        let merged = merge_wire_trace(engine, &events);
+        let doc = shasta_obs::chrome::parse(&merged).expect("merged trace must stay valid JSON");
+        let evs = doc.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+        let wire: Vec<_> =
+            evs.iter().filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("wire")).collect();
+        assert_eq!(wire.len(), 2, "one instant per wire event");
+        let steps: Vec<_> = evs
+            .iter()
+            .filter(|e| {
+                e.get("cat").and_then(|c| c.as_str()) == Some(shasta_obs::chrome::MISS_FLOW_CAT)
+                    && e.get("ph").and_then(|p| p.as_str()) == Some("t")
+            })
+            .collect();
+        assert_eq!(steps.len(), 1, "only the trace!=0 event emits a flow step");
+        assert_eq!(steps[0].get("id").and_then(|v| v.as_u64()), Some(7));
     }
 }

@@ -155,10 +155,13 @@ fn chrome_export_round_trips() {
     let ph = |want: &str| {
         events.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some(want)).count()
     };
+    let flows =
+        log.iter().filter(|e| matches!(e.kind, EventKind::CheckMiss { id, .. } if id != 0)).count();
     assert_eq!(ph("X"), slices, "one complete event per retained slice");
     assert_eq!(ph("i"), instants, "one instant event per other retained event");
     assert_eq!(ph("M"), metadata, "process + per-thread metadata");
-    assert_eq!(events.len(), log.len() + metadata);
+    assert_eq!(ph("s"), flows, "one flow start per id-carrying check miss");
+    assert_eq!(events.len(), log.len() + metadata + flows);
 
     // No ring eviction at tiny inputs, so the re-summed "X" durations are
     // the full derived breakdown.

@@ -3,7 +3,7 @@
 //! deliberately broken protocol variants.
 //!
 //! ```text
-//! check [--seeds N] [-j N] [--skip-validation] [--quiet] [--trace PATH]
+//! check [--seeds N] [-j N] [--skip-validation] [--quiet] [--trace PATH] [--metrics]
 //! ```
 //!
 //! `-j`/`--jobs` fans the independent `(scenario, seed)` runs across worker
@@ -14,6 +14,11 @@
 //! `chrome://tracing` or Perfetto): of the first counterexample's replay
 //! when the sweep fails, or of a deterministic run of the first scenario
 //! when it passes.
+//!
+//! `--metrics` attaches a metrics registry to every machine the sweep
+//! builds. The registry is never read here — the flag exists so CI can
+//! byte-diff two otherwise identical invocations (metrics off vs on) and
+//! prove recording perturbs nothing.
 //!
 //! Exit status: 0 when the correct protocol passes every schedule AND the
 //! broken variants are caught; 1 otherwise.
@@ -59,9 +64,10 @@ fn main() -> ExitCode {
             "--quiet" => quiet = true,
             "--only" => only = Some(args.next().unwrap_or_default()),
             "--trace" => trace = Some(args.next().unwrap_or_default()),
+            "--metrics" => shasta_check::set_metrics_enabled(true),
             "--help" | "-h" => {
                 println!(
-                    "usage: check [--seeds N] [-j N] [--only NAME-SUBSTR] [--skip-validation] [--quiet] [--trace PATH]"
+                    "usage: check [--seeds N] [-j N] [--only NAME-SUBSTR] [--skip-validation] [--quiet] [--trace PATH] [--metrics]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -33,7 +33,7 @@
 
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
 
 use shasta_cluster::{CostModel, Topology};
@@ -54,6 +54,20 @@ const HEAP_BYTES: u64 = 1 << 20;
 
 /// Event-trace ring capacity for counterexample dumps.
 const TRACE_CAPACITY: usize = 512;
+
+/// When set, every machine the checker builds gets a (throwaway) metrics
+/// registry attached. See [`set_metrics_enabled`].
+static METRICS: AtomicBool = AtomicBool::new(false);
+
+/// Toggles metrics recording for every subsequent checker machine. The
+/// registry is write-only here — the checker never reads it back — which
+/// makes this the byte-identity probe for the observability discipline:
+/// a checker run with metrics on must produce output byte-identical to one
+/// with metrics off (reports, traces, counterexamples), and `scripts/ci.sh`
+/// enforces exactly that with a diff of two `check` invocations.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
 
 /// A data-race-free kernel the checker can run. All four are DRF by
 /// construction (single-writer slots, barrier-separated phases, or
@@ -369,6 +383,12 @@ fn build_machine(
         m.set_fault_plan(s.fault.with_seed(mixed));
     }
     m.set_schedule_policy(policy);
+    if METRICS.load(Ordering::Relaxed) {
+        // Handles live inside the machine; the registry itself is dropped
+        // (nobody snapshots it). Recording must not change a single byte of
+        // checker output — that is the point of the probe.
+        m.set_metrics(&shasta_obs::Registry::enabled());
+    }
     if oracle {
         m.enable_oracle_with_buffer(ctx.shadow.take().unwrap_or_default());
         m.enable_trace(TRACE_CAPACITY);

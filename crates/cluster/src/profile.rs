@@ -88,6 +88,28 @@ impl NetProfile {
         self.per_byte.iter().all(|&b| b == cost.mc_per_byte_cycles)
             && self.oneway.iter().flatten().all(|&l| l == cost.mc_oneway_cycles)
     }
+
+    /// Enumerates every link parameter as a `(metric name, value)` pair —
+    /// `cluster.link.per_byte.n{src}` for each sending node's per-byte
+    /// occupancy and `cluster.link.oneway.n{src}.n{dst}` for each directed
+    /// latency (self entries skipped) — so a metrics registry can publish
+    /// the effective topology as gauges without this crate depending on
+    /// one. Deterministic order: per-byte by node, then latencies row by
+    /// row.
+    pub fn link_metrics(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.nodes() * (self.nodes() + 1));
+        for (n, &b) in self.per_byte.iter().enumerate() {
+            out.push((format!("cluster.link.per_byte.n{n}"), b));
+        }
+        for (s, row) in self.oneway.iter().enumerate() {
+            for (d, &l) in row.iter().enumerate() {
+                if s != d {
+                    out.push((format!("cluster.link.oneway.n{s}.n{d}"), l));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +136,24 @@ mod tests {
         assert_eq!(p.oneway[0][1], 2 * c.mc_oneway_cycles);
         assert_eq!(p.oneway[1][0], 2 * c.mc_oneway_cycles);
         assert_eq!(p.oneway[0][0], c.mc_oneway_cycles, "self entries untouched");
+    }
+
+    #[test]
+    fn link_metrics_enumerate_every_directed_link() {
+        let c = CostModel::alpha_4100();
+        let p = NetProfile::uniform(2, &c).scale_link_bandwidth(1, 4).scale_node_latency(1, 3);
+        let m = p.link_metrics();
+        let names: Vec<&str> = m.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "cluster.link.per_byte.n0",
+                "cluster.link.per_byte.n1",
+                "cluster.link.oneway.n0.n1",
+                "cluster.link.oneway.n1.n0",
+            ]
+        );
+        assert_eq!(m[1].1, 4 * c.mc_per_byte_cycles);
+        assert_eq!(m[2].1, 3 * c.mc_oneway_cycles);
     }
 }

@@ -182,7 +182,13 @@ impl Machine {
                                 },
                             );
                             self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                            // Handling runs under the delivered message's
+                            // causal context: any message this handler sends
+                            // (forward, reply, directory update) inherits the
+                            // originating miss's id.
+                            self.set_trace_context(env.trace());
                             self.handle_message(p, env.src, env.msg);
+                            self.set_trace_context(0);
                         }
                         None => {
                             // The delivery guard discarded a duplicate or
@@ -266,7 +272,11 @@ impl Machine {
                         },
                     );
                     self.pay(p, TimeCat::Message, self.cost.msg_dispatch_cycles);
+                    // Inherit the delivered message's causal context (see
+                    // the Action::Msg delivery site).
+                    self.set_trace_context(env.trace());
                     self.handle_message(p, env.src, env.msg);
+                    self.set_trace_context(0);
                 }
                 None => {
                     // Duplicate discarded or early message held: pay the
@@ -573,9 +583,11 @@ impl Machine {
             self.stats.misses.false_misses += 1;
             return Some(Resp::Value(self.mems[v].read_scalar(addr, size)));
         }
+        let miss_id = self.begin_miss_context();
         self.obs_event(
             p,
             shasta_obs::EventKind::CheckMiss {
+                id: miss_id,
                 block: block.start,
                 addr,
                 len: u32::from(size),
@@ -583,7 +595,7 @@ impl Machine {
             },
         );
         self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
-        match state {
+        let resp = match state {
             LineState::PendingDgShared | LineState::PendingDgInvalid => {
                 // §3.4.3: the block is mid-downgrade but the prior state was
                 // sufficient for a read; service it under the line lock.
@@ -624,7 +636,9 @@ impl Machine {
             }
             // readable states were handled above
             LineState::Shared | LineState::Exclusive => unreachable!("readable handled earlier"),
-        }
+        };
+        self.set_trace_context(0);
+        resp
     }
 
     fn smp_lock(&self) -> u64 {
@@ -666,9 +680,11 @@ impl Machine {
             self.mems[v].write_scalar(addr, size, value);
             return Some(Resp::Unit);
         }
+        let miss_id = self.begin_miss_context();
         self.obs_event(
             p,
             shasta_obs::EventKind::CheckMiss {
+                id: miss_id,
                 block: block.start,
                 addr,
                 len: u32::from(size),
@@ -677,7 +693,7 @@ impl Machine {
         );
         self.charge(p, TimeCat::Task, self.cost.protocol_entry_cycles);
         let state = self.block_state(v, block);
-        match state {
+        let resp = match state {
             LineState::Exclusive => {
                 // The node already holds it exclusively: upgrade the private
                 // state table (SMP only; unreachable in Base where the check
@@ -792,6 +808,7 @@ impl Machine {
                 // (invalid) request. Respect the outstanding-store limit.
                 if self.outstanding_stores[p as usize] >= self.cfg.max_outstanding_stores {
                     self.begin_stall(p, StallKind::StoreLimit { op: op.clone() }, TimeCat::Write);
+                    self.set_trace_context(0);
                     return None;
                 }
                 let kind =
@@ -820,7 +837,9 @@ impl Machine {
                     None
                 }
             }
-        }
+        };
+        self.set_trace_context(0);
+        resp
     }
 
     /// Issues a request for `block` to its home (creating the miss entry and
@@ -936,9 +955,11 @@ impl Machine {
             // range that falls inside it (what the sharing profiler uses).
             let lo = addr.max(block.start);
             let hi = (addr + len).min(block.start + block.len);
+            let miss_id = self.begin_miss_context();
             self.obs_event(
                 p,
                 shasta_obs::EventKind::CheckMiss {
+                    id: miss_id,
                     block: block.start,
                     addr: lo,
                     len: (hi - lo) as u32,
@@ -980,6 +1001,7 @@ impl Machine {
                 LineState::Exclusive => unreachable!("exclusive is sufficient"),
             }
         }
+        self.set_trace_context(0);
         waiting
     }
 

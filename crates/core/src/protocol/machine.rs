@@ -223,6 +223,13 @@ pub struct Machine {
     /// never compute (memory-only home nodes): barriers release once this
     /// many processors arrive instead of `topo.procs()`.
     pub(crate) barrier_participants: Option<u32>,
+    /// Miss-id allocator for causal cross-layer tracing: each check miss
+    /// gets the next id (1-based; 0 = "no context"), which is recorded on
+    /// the `CheckMiss` event and stamped into the transport as the trace
+    /// context. Advances unconditionally — independent of whether the
+    /// recorder or any metrics registry is on — so wire frames are
+    /// byte-identical whatever the observability configuration.
+    pub(crate) next_miss_id: u32,
 }
 
 impl Machine {
@@ -303,6 +310,7 @@ impl Machine {
             oracle: None,
             step_limit: None,
             barrier_participants: None,
+            next_miss_id: 0,
             topo,
             cost,
             cfg,
@@ -412,6 +420,32 @@ impl Machine {
     /// The number of arrivals that releases a barrier.
     pub(crate) fn barrier_count(&self) -> u32 {
         self.barrier_participants.unwrap_or_else(|| self.topo.procs())
+    }
+
+    /// Attaches a metrics registry to the transport (wire latencies,
+    /// retransmit reasons, queue depths, admit-guard absorption, link
+    /// occupancy — see `docs/OBSERVABILITY.md`). Recording is purely
+    /// additive: simulated cycles and every counter are bit-identical with
+    /// or without a registry, which CI enforces with byte-diffs. Call after
+    /// [`Machine::set_transport`] / [`Machine::set_net_profile`] so the
+    /// handles land on the backend that actually runs.
+    pub fn set_metrics(&mut self, registry: &shasta_obs::Registry) {
+        self.net.set_metrics(registry);
+    }
+
+    /// Allocates the next miss id and installs it as the transport's causal
+    /// trace context. Ids advance unconditionally (see `next_miss_id`).
+    pub(crate) fn begin_miss_context(&mut self) -> u32 {
+        self.next_miss_id = self.next_miss_id.wrapping_add(1).max(1);
+        let id = self.next_miss_id;
+        self.net.set_trace_context(id);
+        id
+    }
+
+    /// Re-installs a delivered message's trace context (0 clears it), so
+    /// protocol chains inherit the originating miss's id.
+    pub(crate) fn set_trace_context(&mut self, ctx: u32) {
+        self.net.set_trace_context(ctx);
     }
 
     /// Enables bounded event tracing (diagnostics).

@@ -115,6 +115,20 @@ pub struct Envelope<M> {
     /// Whether the message was routed through the destination's shared
     /// virtual-node inbox (so a held copy is re-enqueued to the same place).
     via_vnode: bool,
+    /// Causal trace context: the miss id in effect at send time (0 = none).
+    /// Pure metadata — never consulted for timing or ordering.
+    trace: u32,
+}
+
+impl<M> Envelope<M> {
+    /// The causal trace context (originating miss id) stamped at send time,
+    /// or 0 when the send happened outside any miss. The engine re-installs
+    /// this as the transport's context while handling the message, so
+    /// protocol chains (request → forward → reply → directory update)
+    /// inherit the id of the miss that started them.
+    pub fn trace(&self) -> u32 {
+        self.trace
+    }
 }
 
 /// A deterministic, seeded recipe for injecting message-level faults at the
@@ -286,6 +300,22 @@ impl FaultState {
     }
 }
 
+/// Installed metrics handles: admit-guard absorption counters and per-
+/// sending-node link occupancy. Purely additive bookkeeping — recording
+/// never feeds back into arrival arithmetic, so simulated cycles are
+/// bit-identical with metrics on or off.
+#[derive(Debug)]
+struct NetMetrics {
+    registry: shasta_obs::Registry,
+    dups_dropped: shasta_obs::Counter,
+    held: shasta_obs::Counter,
+    resequenced: shasta_obs::Counter,
+    /// Simulated cycles each sending node's MC link was occupied.
+    occupancy: Vec<shasta_obs::Counter>,
+    /// Wire bytes (payload + header) each sending node's link carried.
+    link_bytes: Vec<shasta_obs::Counter>,
+}
+
 #[derive(PartialEq, Eq, Debug)]
 struct Queued<M> {
     key: Reverse<(Time, u64)>,
@@ -331,6 +361,10 @@ pub struct Network<M> {
     stats: MsgStats,
     in_flight: usize,
     seq: u64,
+    /// Causal context stamped into outgoing envelopes (0 = none).
+    trace_ctx: u32,
+    /// Installed metrics handles; `None` = recording off (the default).
+    metrics: Option<NetMetrics>,
 }
 
 impl<M: Eq + Clone> Network<M> {
@@ -351,6 +385,8 @@ impl<M: Eq + Clone> Network<M> {
             stats: MsgStats::default(),
             in_flight: 0,
             seq: 0,
+            trace_ctx: 0,
+            metrics: None,
         }
     }
 
@@ -379,6 +415,50 @@ impl<M: Eq + Clone> Network<M> {
             self.topo.phys_nodes()
         );
         self.profile = Some(profile);
+        self.publish_link_gauges();
+    }
+
+    /// Attaches a metrics registry: admit-guard absorption counters
+    /// (`memchan.admit.*`), per-sending-node link occupancy and bytes
+    /// (`cluster.link.occupancy_cycles.*` / `cluster.link.bytes.*`), and
+    /// the effective per-link latency/bandwidth parameters as gauges.
+    /// Recording is purely additive — simulated arrival times and message
+    /// statistics are bit-identical with or without a registry attached.
+    pub fn set_metrics(&mut self, registry: &shasta_obs::Registry) {
+        let nodes = self.topo.phys_nodes() as usize;
+        self.metrics = Some(NetMetrics {
+            dups_dropped: registry.counter("memchan.admit.dups_dropped"),
+            held: registry.counter("memchan.admit.held"),
+            resequenced: registry.counter("memchan.admit.resequenced"),
+            occupancy: (0..nodes)
+                .map(|n| registry.counter(&format!("cluster.link.occupancy_cycles.n{n}")))
+                .collect(),
+            link_bytes: (0..nodes)
+                .map(|n| registry.counter(&format!("cluster.link.bytes.n{n}")))
+                .collect(),
+            registry: registry.clone(),
+        });
+        self.publish_link_gauges();
+    }
+
+    /// Sets the causal trace context stamped into every envelope sent from
+    /// now on (0 clears it). See [`Envelope::trace`].
+    pub fn set_trace_context(&mut self, ctx: u32) {
+        self.trace_ctx = ctx;
+    }
+
+    /// Publishes the effective link parameters — the installed profile, or
+    /// the cost model's uniform constants — as gauges on the attached
+    /// registry. Re-run whenever either side changes.
+    fn publish_link_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        let effective = match &self.profile {
+            Some(p) => p.clone(),
+            None => NetProfile::uniform(self.topo.phys_nodes(), &self.cost),
+        };
+        for (name, v) in effective.link_metrics() {
+            m.registry.gauge(&name).set(v);
+        }
     }
 
     /// Installs a fault plan. A plan with every category disabled
@@ -471,6 +551,7 @@ impl<M: Eq + Clone> Network<M> {
             seq: self.seq,
             pair_seq,
             via_vnode: false,
+            trace: self.trace_ctx,
         };
         if let Some(dup_arrival) = dup {
             let mut copy = env.clone();
@@ -512,6 +593,10 @@ impl<M: Eq + Clone> Network<M> {
             let depart = self.link_free[node].max(now);
             let occupancy = per_byte * (payload_bytes + self.cost.header_bytes);
             self.link_free[node] = depart + occupancy;
+            if let Some(m) = &self.metrics {
+                m.occupancy[node].add(occupancy);
+                m.link_bytes[node].add(payload_bytes + self.cost.header_bytes);
+            }
             depart + occupancy + oneway
         }
     }
@@ -592,8 +677,16 @@ impl<M: Eq + Clone> Network<M> {
             v
         };
         match verdict {
-            SeqVerdict::Duplicate => None,
+            SeqVerdict::Duplicate => {
+                if let Some(m) = &self.metrics {
+                    m.dups_dropped.inc();
+                }
+                None
+            }
             SeqVerdict::Hold => {
+                if let Some(m) = &self.metrics {
+                    m.held.inc();
+                }
                 self.stash.push(env);
                 None
             }
@@ -630,8 +723,14 @@ impl<M: Eq + Clone> Network<M> {
             let fs = self.fault.as_mut().expect("checked above");
             if e.pair_seq < next {
                 fs.counts.dups_dropped += 1;
+                if let Some(m) = &self.metrics {
+                    m.dups_dropped.inc();
+                }
             } else {
                 fs.counts.resequenced += 1;
+                if let Some(m) = &self.metrics {
+                    m.resequenced.inc();
+                }
                 e.arrival = e.arrival.max(now);
                 self.seq += 1;
                 e.seq = self.seq;
@@ -716,6 +815,7 @@ impl<M: Eq + Clone> Network<M> {
             seq: self.seq,
             pair_seq,
             via_vnode: true,
+            trace: self.trace_ctx,
         };
         let v = usize::from(self.topo.virt_node_of(dst));
         if let Some(dup_arrival) = dup {
@@ -1016,6 +1116,47 @@ mod tests {
             }
         }
         assert!(witnessed, "no seed in 0..16 produced a loss with stranded successors");
+    }
+
+    #[test]
+    fn trace_context_rides_the_envelope() {
+        let mut n = net();
+        n.set_trace_context(7);
+        n.send(0, 4, 1, 0, Time::ZERO, None);
+        n.set_trace_context(0);
+        n.send(0, 4, 2, 0, Time::ZERO, None);
+        let a = n.pop_earliest(4).unwrap();
+        let b = n.pop_earliest(4).unwrap();
+        assert_eq!((a.msg, a.trace()), (1, 7));
+        assert_eq!((b.msg, b.trace()), (2, 0));
+    }
+
+    #[test]
+    fn metrics_recording_never_perturbs_arrivals_and_counts_exactly() {
+        let registry = shasta_obs::Registry::enabled();
+        let run = |metrics: Option<&shasta_obs::Registry>| {
+            let mut n = net();
+            if let Some(r) = metrics {
+                n.set_metrics(r);
+            }
+            n.set_fault_plan(FaultPlan::chaos(5));
+            let arrivals: Vec<Time> =
+                (0..24).map(|i| n.send(i % 4, 4 + (i % 4), i, 64, Time::ZERO, None)).collect();
+            let delivered: Vec<Vec<u32>> = (4..8).map(|dst| drain_admitted(&mut n, dst)).collect();
+            (arrivals, delivered, n.fault_counts())
+        };
+        let plain = run(None);
+        let metered = run(Some(&registry));
+        assert_eq!(plain, metered, "metrics recording must be invisible to the sim");
+
+        let snap = registry.snapshot();
+        let counts = metered.2;
+        assert_eq!(snap.counter("memchan.admit.dups_dropped"), counts.dups_dropped);
+        assert_eq!(snap.counter("memchan.admit.resequenced"), counts.resequenced);
+        assert!(snap.counter("cluster.link.occupancy_cycles.n0") > 0);
+        assert!(snap.counter("cluster.link.bytes.n0") > 0);
+        assert!(snap.get("cluster.link.oneway.n0.n1").is_some(), "link gauges published");
+        assert!(snap.get("cluster.link.per_byte.n1").is_some());
     }
 
     #[test]

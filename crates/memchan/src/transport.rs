@@ -104,6 +104,21 @@ pub trait Transport<M>: std::fmt::Debug + Send {
     /// Installs a heterogeneous link profile for arrival-time computation.
     fn set_profile(&mut self, profile: NetProfile);
 
+    /// Sets the causal trace context — the id of the miss whose handling
+    /// the engine is currently inside (0 = none) — stamped into every
+    /// subsequently sent message. Backends that put messages on a real
+    /// wire carry it in the frame (`docs/TRANSPORT.md` §6); the default
+    /// no-op is fine for backends with nothing to stamp, since the
+    /// simulated [`Network`] records it on the envelope either way.
+    fn set_trace_context(&mut self, _ctx: u32) {}
+
+    /// Attaches a metrics registry for wire/delivery telemetry (counters,
+    /// gauges, histograms — see `docs/OBSERVABILITY.md`). Recording must be
+    /// purely additive: simulated arrival times, message statistics, and
+    /// delivery order are bit-identical with or without a registry
+    /// attached, which CI enforces with byte-diffs. Default: no-op.
+    fn set_metrics(&mut self, _registry: &shasta_obs::Registry) {}
+
     /// Releases any real resources (worker threads, sockets) the backend
     /// holds. The engine calls this once after the run completes; the
     /// default is a no-op, which is right for the simulated network.
@@ -165,5 +180,13 @@ impl<M: Eq + Clone + Send + std::fmt::Debug> Transport<M> for Network<M> {
 
     fn set_profile(&mut self, profile: NetProfile) {
         Network::set_profile(self, profile)
+    }
+
+    fn set_trace_context(&mut self, ctx: u32) {
+        Network::set_trace_context(self, ctx)
+    }
+
+    fn set_metrics(&mut self, registry: &shasta_obs::Registry) {
+        Network::set_metrics(self, registry)
     }
 }

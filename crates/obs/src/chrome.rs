@@ -8,6 +8,13 @@
 //! simulated cycles written into the format's microsecond field, so one
 //! display microsecond equals one simulated cycle.
 //!
+//! A check miss with a nonzero miss id additionally emits a **flow start**
+//! (`"ph":"s"`, `cat`/`name` = [`MISS_FLOW_CAT`]/[`MISS_FLOW_NAME`], `id` =
+//! the miss id). The same id rides every wire `DATA` frame the miss causes
+//! (see `docs/TRANSPORT.md` §6), so wire-side flow steps emitted by
+//! `transport_bench --trace` bind to the engine-side start and one miss
+//! renders as a single causal arrow spanning sim and wire.
+//!
 //! The workspace builds offline against vendored dependency stubs (no
 //! `serde_json`), so both the writer and the [`parse`] round-trip reader
 //! are small hand-rolled implementations covering the subset of JSON the
@@ -17,6 +24,12 @@ use std::fmt::Write as _;
 
 use crate::event::EventKind;
 use crate::recorder::EventLog;
+
+/// Flow-event category binding a miss's engine-side start to its wire-side
+/// steps; Chrome/Perfetto match flows by `(cat, name, id)`.
+pub const MISS_FLOW_CAT: &str = "miss-flow";
+/// Flow-event name (see [`MISS_FLOW_CAT`]).
+pub const MISS_FLOW_NAME: &str = "miss";
 
 /// Renders `log` in the Chrome `trace_event` JSON format.
 pub fn to_chrome_json(log: &EventLog) -> String {
@@ -72,6 +85,18 @@ pub fn to_chrome_json(log: &EventLog) -> String {
                 }
             }
             emit(&s, &mut out);
+            if let EventKind::CheckMiss { id, .. } = e.kind {
+                if id != 0 {
+                    emit(
+                        &format!(
+                            "{{\"name\":\"{MISS_FLOW_NAME}\",\"cat\":\"{MISS_FLOW_CAT}\",\
+                             \"ph\":\"s\",\"id\":{id},\"pid\":0,\"tid\":{p},\"ts\":{}}}",
+                            e.t
+                        ),
+                        &mut out,
+                    );
+                }
+            }
         }
     }
     out.push_str("]}");
@@ -81,10 +106,11 @@ pub fn to_chrome_json(log: &EventLog) -> String {
 /// Writes the `"args"` object body (no braces) for an instant event.
 fn write_args(s: &mut String, kind: &EventKind) {
     let _ = match *kind {
-        EventKind::CheckMiss { block, addr, len, write } => {
+        EventKind::CheckMiss { id, block, addr, len, write } => {
             write!(
                 s,
-                "\"block\":\"{block:#x}\",\"addr\":\"{addr:#x}\",\"len\":{len},\"write\":{write}"
+                "\"id\":{id},\"block\":\"{block:#x}\",\"addr\":\"{addr:#x}\",\
+                 \"len\":{len},\"write\":{write}"
             )
         }
         EventKind::FalseMiss { block } => write!(s, "\"block\":\"{block:#x}\""),
@@ -370,7 +396,7 @@ mod tests {
         r.record(
             100,
             0,
-            EventKind::CheckMiss { block: 0x12340, addr: 0x12348, len: 8, write: true },
+            EventKind::CheckMiss { id: 3, block: 0x12340, addr: 0x12348, len: 8, write: true },
         );
         r.record(100, 0, EventKind::MsgSend { msg: "write-req", peer: 1, block: 0x12340 });
         r.record(100, 0, EventKind::StallBegin { cat: TimeCat::Write });
@@ -390,8 +416,9 @@ mod tests {
         let json = to_chrome_json(&log);
         let doc = parse(&json).expect("exporter output parses");
         let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
-        // 1 process_name + 2 thread_name + every retained event.
-        assert_eq!(events.len(), 3 + log.len());
+        // 1 process_name + 2 thread_name + every retained event + 1 flow
+        // start for the id-carrying check miss.
+        assert_eq!(events.len(), 3 + log.len() + 1);
 
         let slices: Vec<&Json> =
             events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
@@ -422,6 +449,32 @@ mod tests {
             miss.get("args").and_then(|a| a.get("block")).and_then(Json::as_str),
             Some("0x12340")
         );
+        assert_eq!(miss.get("args").and_then(|a| a.get("id")).and_then(Json::as_u64), Some(3));
+
+        // The id-carrying miss also opened a causal flow at its timestamp.
+        let flow = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("s"))
+            .expect("flow start present");
+        assert_eq!(flow.get("cat").and_then(Json::as_str), Some(MISS_FLOW_CAT));
+        assert_eq!(flow.get("name").and_then(Json::as_str), Some(MISS_FLOW_NAME));
+        assert_eq!(flow.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(flow.get("ts").and_then(Json::as_u64), miss.get("ts").and_then(Json::as_u64));
+    }
+
+    #[test]
+    fn zero_id_miss_emits_no_flow_start() {
+        let mut r = Recorder::enabled(1, 8);
+        r.record(
+            5,
+            0,
+            EventKind::CheckMiss { id: 0, block: 0x40, addr: 0x40, len: 8, write: false },
+        );
+        let json = to_chrome_json(&r.into_log());
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), 2 + 1, "metadata plus the instant, no flow");
+        assert!(events.iter().all(|e| e.get("ph").and_then(Json::as_str) != Some("s")));
     }
 
     #[test]
@@ -483,7 +536,13 @@ mod tests {
             r.record(
                 i,
                 0,
-                EventKind::CheckMiss { block: 0x1000, addr: 0x1000 + i, len: 8, write: true },
+                EventKind::CheckMiss {
+                    id: i as u32 + 1,
+                    block: 0x1000,
+                    addr: 0x1000 + i,
+                    len: 8,
+                    write: true,
+                },
             );
         }
         for i in 5..10u64 {

@@ -29,6 +29,13 @@ pub enum EventKind {
     /// An inline check missed and entered the protocol (a real miss: the
     /// flag/state check failed and the state table confirmed it).
     CheckMiss {
+        /// Miss id: a per-machine counter (1-based; 0 is reserved for "no
+        /// context") that the engine also stamps into every wire `DATA`
+        /// frame the miss causes, so one miss renders as a single causal
+        /// flow across sim engine and wire in the Chrome exporter. The
+        /// counter advances whether or not recording is on, keeping wire
+        /// bytes independent of observability.
+        id: u32,
         /// Starting address of the missed block.
         block: u64,
         /// The faulting shared-space address (the access that missed; for a
@@ -185,7 +192,7 @@ mod tests {
     #[test]
     fn names_are_stable() {
         assert_eq!(
-            EventKind::CheckMiss { block: 0, addr: 0, len: 8, write: false }.name(),
+            EventKind::CheckMiss { id: 1, block: 0, addr: 0, len: 8, write: false }.name(),
             "check-miss"
         );
         assert_eq!(EventKind::Slice { cat: TimeCat::Task, cycles: 1 }.name(), "slice");

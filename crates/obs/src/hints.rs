@@ -203,6 +203,7 @@ mod tests {
                     agg.observe(
                         0,
                         &EventKind::CheckMiss {
+                            id: 0,
                             block: b,
                             addr: b + round * 8,
                             len: 8,
@@ -212,6 +213,7 @@ mod tests {
                     agg.observe(
                         1,
                         &EventKind::CheckMiss {
+                            id: 0,
                             block: b,
                             addr: b + 128 + round * 8,
                             len: 8,

@@ -47,6 +47,7 @@ pub mod chrome;
 mod event;
 mod fig4;
 pub mod hints;
+pub mod metrics;
 pub mod profile;
 mod recorder;
 mod rederive;
@@ -54,6 +55,7 @@ mod rederive;
 pub use event::{Event, EventKind};
 pub use fig4::Fig4Agg;
 pub use hints::{hints_from_reports, HintFile, SiteHint};
+pub use metrics::{Counter, Gauge, Histogram, HistogramHandle, Registry};
 pub use profile::{ProfileAgg, Recommendation, SharingPattern, SiteReport, SpaceMap};
 pub use recorder::{EventLog, ProcEvents, Recorder};
 pub use rederive::{DowngradeAgg, MissAgg, MsgAgg};

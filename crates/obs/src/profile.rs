@@ -566,7 +566,7 @@ impl ProfileAgg {
     /// Feeds one event from processor `p` into the per-block histories.
     pub fn observe(&mut self, p: u32, kind: &EventKind) {
         match *kind {
-            EventKind::CheckMiss { block, addr, len, write } => {
+            EventKind::CheckMiss { block, addr, len, write, .. } => {
                 let node = self.map.coh_node_of(p);
                 let off = addr.saturating_sub(block);
                 self.touch(block).note_miss(node, off, u64::from(len), write);
@@ -818,7 +818,7 @@ mod tests {
     }
 
     fn miss(agg: &mut ProfileAgg, p: u32, block: u64, off: u64, write: bool) {
-        agg.observe(p, &EventKind::CheckMiss { block, addr: block + off, len: 8, write });
+        agg.observe(p, &EventKind::CheckMiss { id: 0, block, addr: block + off, len: 8, write });
     }
 
     #[test]

@@ -296,8 +296,16 @@ mod tests {
     #[test]
     fn events_route_to_their_processor() {
         let mut r = Recorder::enabled(2, 8);
-        r.record(1, 0, EventKind::CheckMiss { block: 0x40, addr: 0x48, len: 8, write: false });
-        r.record(2, 1, EventKind::CheckMiss { block: 0x80, addr: 0x80, len: 4, write: true });
+        r.record(
+            1,
+            0,
+            EventKind::CheckMiss { id: 1, block: 0x40, addr: 0x48, len: 8, write: false },
+        );
+        r.record(
+            2,
+            1,
+            EventKind::CheckMiss { id: 2, block: 0x80, addr: 0x80, len: 4, write: true },
+        );
         let log = r.into_log();
         assert_eq!(log.proc(0).events.len(), 1);
         assert_eq!(log.proc(1).events.len(), 1);

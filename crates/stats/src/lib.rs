@@ -21,10 +21,12 @@
 //! [`report`] renders paper-style text tables.
 
 pub mod counters;
+pub mod expo;
 pub mod report;
 
 pub use counters::{
     Breakdown, CheckStats, DowngradeHist, Hops, MissKind, MissStats, MsgClass, MsgStats, RunStats,
     TimeCat,
 };
+pub use expo::{MetricEntry, MetricValue, Snapshot};
 pub use report::{advisor_table, AdvisorRow, Table};

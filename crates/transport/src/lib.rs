@@ -54,14 +54,20 @@
 
 use shasta_cluster::{CostModel, NetProfile, Topology};
 use shasta_core::protocol::ProtoMsg;
-use shasta_memchan::{Envelope, FaultCounts, FaultPlan, Network, Transport};
+use shasta_memchan::{Envelope, FaultCounts, FaultPlan, Network};
 use shasta_sim::Time;
 use shasta_stats::{MsgClass, MsgStats};
 
 mod loopback;
 pub mod wire;
 
-pub use loopback::{Backend, DropPlan, WireCounts, WireCountsProbe, RETRANSMIT_TIMEOUT};
+pub use loopback::{
+    Backend, DropPlan, WireCounts, WireCountsProbe, WireEvent, WireEventsProbe, RETRANSMIT_TIMEOUT,
+};
+// Re-exported so transport consumers can call trait methods (`set_metrics`,
+// `set_trace_context`) on a [`LoopbackTransport`] without a direct
+// `shasta-memchan` dependency.
+pub use shasta_memchan::Transport;
 
 use loopback::Fabric;
 
@@ -74,6 +80,9 @@ pub struct LoopbackTransport {
     inner: Network<ProtoMsg>,
     fabric: Fabric,
     topo: Topology,
+    /// Current causal trace context (0 = none), stamped into every wire
+    /// frame sent while it is set — the v2 SHWP extension.
+    trace_ctx: u32,
 }
 
 impl LoopbackTransport {
@@ -94,7 +103,12 @@ impl LoopbackTransport {
         let nodes = topo.phys_nodes() as usize;
         let node_of: Vec<u32> = (0..topo.procs()).map(|p| topo.phys_node_of(p).0).collect();
         let fabric = Fabric::connect(node_of, nodes, backend, drops)?;
-        Ok(LoopbackTransport { inner: Network::new(topo.clone(), cost), fabric, topo })
+        Ok(LoopbackTransport {
+            inner: Network::new(topo.clone(), cost),
+            fabric,
+            topo,
+            trace_ctx: 0,
+        })
     }
 
     /// Which socket flavor carries the frames.
@@ -114,6 +128,13 @@ impl LoopbackTransport {
     pub fn counts_probe(&self) -> WireCountsProbe {
         self.fabric.counts_probe()
     }
+
+    /// Turns on wire-event recording (`--trace` runs merge these into the
+    /// Chrome trace next to the engine's simulated events) and returns the
+    /// cloneable probe that drains the log after the run.
+    pub fn enable_wire_events(&self) -> WireEventsProbe {
+        self.fabric.enable_wire_events()
+    }
 }
 
 impl Transport<ProtoMsg> for LoopbackTransport {
@@ -127,7 +148,7 @@ impl Transport<ProtoMsg> for LoopbackTransport {
         class_override: Option<MsgClass>,
     ) -> Time {
         if !self.topo.same_phys_node(src, dst) {
-            self.fabric.send_data(src, dst, false, &msg);
+            self.fabric.send_data(src, dst, false, &msg, self.trace_ctx);
         }
         self.inner.send(src, dst, msg, payload_bytes, now, class_override)
     }
@@ -141,7 +162,7 @@ impl Transport<ProtoMsg> for LoopbackTransport {
         now: Time,
     ) -> Time {
         if !self.topo.same_phys_node(src, dst) {
-            self.fabric.send_data(src, dst, true, &msg);
+            self.fabric.send_data(src, dst, true, &msg, self.trace_ctx);
         }
         self.inner.send_to_vnode(src, dst, msg, payload_bytes, now)
     }
@@ -207,6 +228,16 @@ impl Transport<ProtoMsg> for LoopbackTransport {
 
     fn set_profile(&mut self, profile: NetProfile) {
         self.inner.set_profile(profile);
+    }
+
+    fn set_trace_context(&mut self, ctx: u32) {
+        self.trace_ctx = ctx;
+        self.inner.set_trace_context(ctx);
+    }
+
+    fn set_metrics(&mut self, registry: &shasta_obs::Registry) {
+        self.fabric.set_metrics(registry);
+        self.inner.set_metrics(registry);
     }
 
     fn shutdown(&mut self) {

@@ -22,8 +22,9 @@ use std::time::{Duration, Instant};
 
 use shasta_core::protocol::ProtoMsg;
 use shasta_memchan::{PairSequencer, SeqVerdict};
+use shasta_obs::{Counter, Gauge, HistogramHandle, Registry};
 
-use crate::wire::{encode_frame, negotiate, DataFrame, Frame, FrameReader, VERSION};
+use crate::wire::{encode_frame, negotiate, DataFrame, Frame, FrameReader, VERSION, VERSION_MIN};
 
 /// How long an unacknowledged `DATA` frame waits before the retransmit
 /// timer resends it.
@@ -158,6 +159,93 @@ impl Write for Sock {
 struct Unacked {
     bytes: Vec<u8>,
     last_sent: Instant,
+    /// When the frame was first offered, for Karn-rule RTT sampling: an
+    /// ACK covering a frame that was ever retransmitted is ambiguous and
+    /// contributes no RTT sample.
+    first_sent: Instant,
+    /// Whether the retransmit timer has ever resent this frame.
+    retransmitted: bool,
+    /// Whether the [`DropPlan`] suppressed the first transmission — the
+    /// retransmit that recovers it is classified `first_tx_dropped`, not
+    /// `ack_delayed`.
+    dropped_first: bool,
+    /// Trace context carried by the frame, for wire event logging.
+    trace: u32,
+}
+
+/// One wire-level occurrence, timestamped on the fabric's own wall clock,
+/// for merging into a Chrome trace next to the engine's simulated events.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireEvent {
+    /// Microseconds since wire-event recording was enabled.
+    pub t_us: u64,
+    /// `"wire-send"`, `"wire-recv"`, `"wire-ack"`, or `"wire-retransmit"`.
+    pub kind: &'static str,
+    /// Sending physical node of the underlying `DATA` stream.
+    pub src_node: u32,
+    /// Receiving physical node of the underlying `DATA` stream.
+    pub dst_node: u32,
+    /// Stream position (`pair_seq`; cumulative seq for `wire-ack`).
+    pub seq: u64,
+    /// Trace context of the frame (0 = none; always 0 for `wire-ack`).
+    pub trace: u32,
+}
+
+/// Wire-event log plus the wall-clock origin its timestamps count from.
+#[derive(Debug)]
+struct WireEventLog {
+    epoch: Instant,
+    events: Vec<WireEvent>,
+}
+
+/// Cloneable handle that drains recorded [`WireEvent`]s after the
+/// transport has been consumed by a run.
+#[derive(Clone, Debug)]
+pub struct WireEventsProbe(Arc<(Mutex<WireState>, Condvar)>);
+
+impl WireEventsProbe {
+    /// Takes every event recorded so far (subsequent calls see only newer
+    /// ones).
+    pub fn take(&self) -> Vec<WireEvent> {
+        let mut st = self.0 .0.lock().unwrap();
+        match &mut st.events {
+            Some(log) => std::mem::take(&mut log.events),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Registry handles for everything the wire layer measures. All handles
+/// are cheap no-ops when the registry is disabled; recording never feeds
+/// back into delivery, so simulated timing is identical with or without
+/// metrics attached.
+#[derive(Debug)]
+struct WireMetrics {
+    /// Per directed node-pair stream (`src * nodes + dst`): frame encode
+    /// wall time, decode wall time, and unambiguous ACK round-trips, in
+    /// nanoseconds. Self-pair slots hold disabled handles.
+    encode_ns: Vec<HistogramHandle>,
+    decode_ns: Vec<HistogramHandle>,
+    ack_rtt_ns: Vec<HistogramHandle>,
+    /// Retransmissions recovering a deliberately dropped first
+    /// transmission (equals `induced_drops` once the run quiesces).
+    retrans_first_tx_dropped: Counter,
+    /// Retransmissions whose first transmission was written but whose ACK
+    /// had not arrived in time (timing-dependent; racy by nature).
+    retrans_ack_delayed: Counter,
+    /// Current depth of the send-side unacked buffer / receive-side hold
+    /// queue (high-water mark kept by the gauge).
+    queue_unacked: Gauge,
+    queue_held: Gauge,
+    /// Bytes written per frame kind (DATA includes retransmissions).
+    bytes_hello: Counter,
+    bytes_data: Counter,
+    bytes_ack: Counter,
+    bytes_bye: Counter,
+    /// Delivery-guard outcomes, mirroring [`WireCounts`].
+    dups_dropped: Counter,
+    holds: Counter,
+    resequenced: Counter,
 }
 
 /// Everything the reader threads, the retransmit timer, and the engine
@@ -176,6 +264,11 @@ struct WireState {
     /// Sent-but-unacknowledged frames per directed node-pair stream.
     unacked: HashMap<usize, BTreeMap<u64, Unacked>>,
     counts: WireCounts,
+    /// Registry handles, installed by [`Fabric::set_metrics`]; `None`
+    /// until then (and forever, when telemetry is off).
+    metrics: Option<WireMetrics>,
+    /// Wire-event log for `--trace` runs; `None` unless enabled.
+    events: Option<WireEventLog>,
     /// First fatal error any worker thread hit (poisons all receives).
     error: Option<String>,
     shutting_down: bool,
@@ -187,32 +280,57 @@ impl WireState {
     /// plus any held successors they unblock. Returns the stream's new
     /// cumulative-ACK value.
     fn accept_data(&mut self, frame: DataFrame, node_of: &[u32], nodes: usize) -> u64 {
-        let stream =
-            node_of[frame.src as usize] as usize * nodes + node_of[frame.dst as usize] as usize;
+        let (sn, dn) = (node_of[frame.src as usize], node_of[frame.dst as usize]);
+        let stream = sn as usize * nodes + dn as usize;
         match self.seqr.admit(stream, frame.pair_seq) {
             SeqVerdict::Duplicate => {
                 self.counts.dups_dropped += 1;
+                if let Some(m) = &self.metrics {
+                    m.dups_dropped.inc();
+                }
             }
             SeqVerdict::Hold => {
                 // A retransmission of an already-held frame is a duplicate
                 // in waiting, not a second hold.
                 if self.held.insert((stream, frame.pair_seq), frame).is_some() {
                     self.counts.dups_dropped += 1;
+                    if let Some(m) = &self.metrics {
+                        m.dups_dropped.inc();
+                    }
                 } else {
                     self.counts.holds += 1;
+                    if let Some(m) = &self.metrics {
+                        m.holds.inc();
+                    }
                 }
             }
             SeqVerdict::Deliver => {
+                self.wire_event("wire-recv", sn, dn, frame.pair_seq, frame.trace);
                 self.deliver(frame);
                 while let Some(next) = self.held.remove(&(stream, self.seqr.expected(stream))) {
                     let v = self.seqr.admit(stream, next.pair_seq);
                     debug_assert_eq!(v, SeqVerdict::Deliver);
                     self.counts.resequenced += 1;
+                    if let Some(m) = &self.metrics {
+                        m.resequenced.inc();
+                    }
+                    self.wire_event("wire-recv", sn, dn, next.pair_seq, next.trace);
                     self.deliver(next);
                 }
             }
         }
+        if let Some(m) = &self.metrics {
+            m.queue_held.set(self.held.len() as u64);
+        }
         self.seqr.delivered(stream)
+    }
+
+    /// Appends one wire event when event recording is enabled.
+    fn wire_event(&mut self, kind: &'static str, src: u32, dst: u32, seq: u64, trace: u32) {
+        if let Some(log) = &mut self.events {
+            let t_us = log.epoch.elapsed().as_micros() as u64;
+            log.events.push(WireEvent { t_us, kind, src_node: src, dst_node: dst, seq, trace });
+        }
     }
 
     fn deliver(&mut self, frame: DataFrame) {
@@ -242,6 +360,10 @@ pub(crate) struct Fabric {
     /// Sender-side stream positions (engine thread only, but kept beside
     /// the receiver's guard for symmetry).
     send_seqr: PairSequencer,
+    /// `HELLO` bytes written during connection setup, credited to the
+    /// registry retroactively when metrics are attached (the handshake
+    /// runs before [`Fabric::set_metrics`] can possibly be called).
+    hello_bytes: u64,
     threads: Vec<JoinHandle<()>>,
     down: bool,
 }
@@ -324,6 +446,7 @@ impl Fabric {
         let mut writers = HashMap::new();
         let mut threads = Vec::new();
         let mut version = VERSION;
+        let mut hello_bytes = 0u64;
 
         for a in 0..nodes as u32 {
             for b in (a + 1)..nodes as u32 {
@@ -331,9 +454,13 @@ impl Fabric {
                 // Both ends are in-process: write both HELLOs, then read
                 // both, so the exchange cannot deadlock.
                 for (end, node) in [(&mut end_a, a), (&mut end_b, b)] {
-                    let hello =
-                        encode_frame(&Frame::Hello { ver_min: VERSION, ver_max: VERSION, node })
-                            .expect("HELLO frames are tiny");
+                    let hello = encode_frame(&Frame::Hello {
+                        ver_min: VERSION_MIN,
+                        ver_max: VERSION,
+                        node,
+                    })
+                    .expect("HELLO frames are tiny");
+                    hello_bytes += hello.len() as u64;
                     end.write_all(&hello)?;
                     end.flush()?;
                 }
@@ -345,7 +472,7 @@ impl Fabric {
                         return Err(io_err(format!("expected HELLO, got {hello:?}")));
                     };
                     assert_eq!(node, expect_node, "HELLO carried the wrong node id");
-                    version = negotiate((VERSION, VERSION), (ver_min, ver_max))
+                    version = negotiate((VERSION_MIN, VERSION), (ver_min, ver_max))
                         .map_err(|e| io_err(e.to_string()))?;
                 }
 
@@ -383,9 +510,60 @@ impl Fabric {
             drops,
             version,
             send_seqr: PairSequencer::new(nodes * nodes),
+            hello_bytes,
             threads,
             down: false,
         })
+    }
+
+    /// Attaches a metrics registry: registers the wire-layer counters,
+    /// gauges, and per-stream histograms and installs the handles into the
+    /// shared state, where the engine thread, reader threads, and
+    /// retransmit timer all record through them. Recording is purely
+    /// additive — no delivery decision ever reads a metric.
+    pub(crate) fn set_metrics(&mut self, registry: &Registry) {
+        let nodes = self.nodes;
+        let per_stream = |what: &str| -> Vec<HistogramHandle> {
+            (0..nodes * nodes)
+                .map(|stream| {
+                    let (s, d) = (stream / nodes, stream % nodes);
+                    if s == d {
+                        HistogramHandle::default()
+                    } else {
+                        registry.histogram(&format!("wire.{what}.n{s}.n{d}"))
+                    }
+                })
+                .collect()
+        };
+        let m = WireMetrics {
+            encode_ns: per_stream("encode_ns"),
+            decode_ns: per_stream("decode_ns"),
+            ack_rtt_ns: per_stream("ack_rtt_ns"),
+            retrans_first_tx_dropped: registry.counter("wire.retransmits.first_tx_dropped"),
+            retrans_ack_delayed: registry.counter("wire.retransmits.ack_delayed"),
+            queue_unacked: registry.gauge("wire.queue.unacked"),
+            queue_held: registry.gauge("wire.queue.held"),
+            bytes_hello: registry.counter("wire.bytes.hello"),
+            bytes_data: registry.counter("wire.bytes.data"),
+            bytes_ack: registry.counter("wire.bytes.ack"),
+            bytes_bye: registry.counter("wire.bytes.bye"),
+            dups_dropped: registry.counter("wire.dups_dropped"),
+            holds: registry.counter("wire.holds"),
+            resequenced: registry.counter("wire.resequenced"),
+        };
+        // The handshake predates this call; credit its bytes now.
+        m.bytes_hello.add(self.hello_bytes);
+        self.shared.0.lock().unwrap().metrics = Some(m);
+    }
+
+    /// Turns on wire-event recording (for `--trace` runs) and returns the
+    /// probe that drains the log.
+    pub(crate) fn enable_wire_events(&self) -> WireEventsProbe {
+        let mut st = self.shared.0.lock().unwrap();
+        if st.events.is_none() {
+            st.events = Some(WireEventLog { epoch: Instant::now(), events: Vec::new() });
+        }
+        WireEventsProbe(Arc::clone(&self.shared))
     }
 
     /// Which socket flavor this fabric runs over.
@@ -408,20 +586,30 @@ impl Fabric {
     /// next position on their node-pair stream and remembering the frame
     /// until it is acknowledged. Honors the [`DropPlan`] by suppressing
     /// the first transmission of selected frames.
-    pub(crate) fn send_data(&mut self, src: u32, dst: u32, via_vnode: bool, msg: &ProtoMsg) {
+    pub(crate) fn send_data(
+        &mut self,
+        src: u32,
+        dst: u32,
+        via_vnode: bool,
+        msg: &ProtoMsg,
+        trace: u32,
+    ) {
         let (sn, dn) = (self.node_of[src as usize], self.node_of[dst as usize]);
         debug_assert_ne!(sn, dn, "intra-node messages never touch the wire");
         let stream = sn as usize * self.nodes + dn as usize;
         let pair_seq = self.send_seqr.stamp(stream);
+        let encode_start = Instant::now();
         let bytes = encode_frame(&Frame::Data(DataFrame {
             version: self.version,
             src,
             dst,
             pair_seq,
             via_vnode,
+            trace,
             msg: msg.clone(),
         }))
         .expect("protocol messages fit in a frame");
+        let encode_ns = encode_start.elapsed().as_nanos() as u64;
 
         let drop_this = {
             let mut st = self.shared.0.lock().unwrap();
@@ -431,10 +619,27 @@ impl Fabric {
             if drop_this {
                 st.counts.induced_drops += 1;
             }
-            st.unacked
-                .entry(stream)
-                .or_default()
-                .insert(pair_seq, Unacked { bytes: bytes.clone(), last_sent: Instant::now() });
+            let now = Instant::now();
+            st.unacked.entry(stream).or_default().insert(
+                pair_seq,
+                Unacked {
+                    bytes: bytes.clone(),
+                    last_sent: now,
+                    first_sent: now,
+                    retransmitted: false,
+                    dropped_first: drop_this,
+                    trace,
+                },
+            );
+            let unacked_depth: u64 = st.unacked.values().map(|p| p.len() as u64).sum();
+            if let Some(m) = &st.metrics {
+                m.encode_ns[stream].record(encode_ns);
+                m.queue_unacked.set(unacked_depth);
+                if !drop_this {
+                    m.bytes_data.add(bytes.len() as u64);
+                }
+            }
+            st.wire_event("wire-send", sn, dn, pair_seq, trace);
             drop_this
         };
         if !drop_this {
@@ -496,6 +701,12 @@ impl Fabric {
             cv.notify_all();
         }
         let bye = encode_frame(&Frame::Bye).expect("BYE is tiny");
+        {
+            let st = self.shared.0.lock().unwrap();
+            if let Some(m) = &st.metrics {
+                m.bytes_bye.add(bye.len() as u64 * self.writers.len() as u64);
+            }
+        }
         for writer in self.writers.values() {
             let _ = write_frame(writer, &bye);
         }
@@ -534,6 +745,7 @@ fn reader_loop(
     let mut buf = [0u8; 16 * 1024];
     'outer: loop {
         loop {
+            let decode_start = Instant::now();
             let frame = match reader.next_frame() {
                 Ok(Some(f)) => f,
                 Ok(None) => break,
@@ -544,16 +756,27 @@ fn reader_loop(
                     return;
                 }
             };
+            let decode_ns = decode_start.elapsed().as_nanos() as u64;
             match frame {
                 Frame::Data(data) => {
-                    let cum_seq = {
+                    // Frames on this socket end flow peer -> own.
+                    let in_stream = peer as usize * nodes + own as usize;
+                    let ack = {
                         let mut st = lock.lock().unwrap();
+                        if let Some(m) = &st.metrics {
+                            m.decode_ns[in_stream].record(decode_ns);
+                        }
                         let cum = st.accept_data(data, &node_of, nodes);
                         st.counts.acks_sent += 1;
+                        let ack = encode_frame(&Frame::Ack { version, cum_seq: cum })
+                            .expect("ACK is tiny");
+                        if let Some(m) = &st.metrics {
+                            m.bytes_ack.add(ack.len() as u64);
+                        }
+                        st.wire_event("wire-ack", peer, own, cum, 0);
                         cv.notify_all();
-                        cum
+                        ack
                     };
-                    let ack = encode_frame(&Frame::Ack { version, cum_seq }).expect("ACK is tiny");
                     // Best-effort: a lost ACK only costs a retransmission.
                     let _ = write_frame(&own_writer, &ack);
                 }
@@ -561,8 +784,25 @@ fn reader_loop(
                     // Acknowledges our own sends toward the peer.
                     let stream = own as usize * nodes + peer as usize;
                     let mut st = lock.lock().unwrap();
-                    if let Some(pending) = st.unacked.get_mut(&stream) {
-                        *pending = pending.split_off(&(cum_seq + 1));
+                    let acked: Vec<Unacked> = match st.unacked.get_mut(&stream) {
+                        Some(pending) => {
+                            let rest = pending.split_off(&(cum_seq + 1));
+                            std::mem::replace(pending, rest).into_values().collect()
+                        }
+                        None => Vec::new(),
+                    };
+                    let unacked_depth: u64 = st.unacked.values().map(|p| p.len() as u64).sum();
+                    if let Some(m) = &st.metrics {
+                        m.queue_unacked.set(unacked_depth);
+                        // Karn's rule: only first transmissions that were
+                        // never resent give an unambiguous round-trip.
+                        let now = Instant::now();
+                        for u in &acked {
+                            if !u.retransmitted {
+                                m.ack_rtt_ns[stream]
+                                    .record(now.duration_since(u.first_sent).as_nanos() as u64);
+                            }
+                        }
                     }
                 }
                 Frame::Bye => break 'outer,
@@ -605,17 +845,39 @@ fn spawn_retransmit_timer(
                 }
                 let now = Instant::now();
                 let mut resent = 0;
+                let mut first_tx_dropped = 0;
+                let mut ack_delayed = 0;
+                let mut bytes_resent = 0;
+                let mut events = Vec::new();
                 for (&stream, pending) in st.unacked.iter_mut() {
                     let key = ((stream / nodes) as u32, (stream % nodes) as u32);
-                    for frame in pending.values_mut() {
+                    for (&seq, frame) in pending.iter_mut() {
                         if now.duration_since(frame.last_sent) >= RETRANSMIT_TIMEOUT {
                             frame.last_sent = now;
+                            // A resend that recovers a deliberately dropped
+                            // first transmission vs. one racing a slow ACK.
+                            if frame.dropped_first && !frame.retransmitted {
+                                first_tx_dropped += 1;
+                            } else {
+                                ack_delayed += 1;
+                            }
+                            frame.retransmitted = true;
                             resent += 1;
+                            bytes_resent += frame.bytes.len() as u64;
+                            events.push((key.0, key.1, seq, frame.trace));
                             due.push((key, frame.bytes.clone()));
                         }
                     }
                 }
                 st.counts.retransmits += resent;
+                if let Some(m) = &st.metrics {
+                    m.retrans_first_tx_dropped.add(first_tx_dropped);
+                    m.retrans_ack_delayed.add(ack_delayed);
+                    m.bytes_data.add(bytes_resent);
+                }
+                for (s, d, seq, trace) in events {
+                    st.wire_event("wire-retransmit", s, d, seq, trace);
+                }
             }
             for (key, bytes) in due {
                 let _ = write_frame(&writers[&key], &bytes);

@@ -1,4 +1,4 @@
-//! Wire protocol v1: versioned, length-prefixed framing of every protocol
+//! Wire protocol v2: versioned, length-prefixed framing of every protocol
 //! message.
 //!
 //! This module is the *implementation* of the normative specification in
@@ -17,6 +17,11 @@
 //!   range; `DATA` carries a versioned, per-(src node, dst node)-sequenced
 //!   protocol message; `ACK` cumulatively acknowledges a stream; `BYE`
 //!   closes a connection;
+//! * version 2 extends `DATA` with a 4-byte **trace context** — the id of
+//!   the originating miss, for causal cross-layer tracing — between the
+//!   flags byte and the message payload. The field exists only on v2
+//!   streams: a connection negotiated down to v1 encodes the exact v1
+//!   bytes and the receiver reports the context as absent (`0`);
 //! * protocol messages are encoded as a one-byte tag in `ProtoMsg`
 //!   declaration order (`0x01` = `ReadReq` … `0x11` = `BarrierGo`) followed
 //!   by their fields in declaration order; booleans are one byte that must
@@ -30,9 +35,15 @@ use shasta_core::space::Block;
 /// this protocol at all.
 pub const MAGIC: [u8; 4] = *b"SHWP";
 
-/// The wire protocol version this implementation speaks (both its minimum
-/// and maximum; see [`negotiate`]).
-pub const VERSION: u8 = 1;
+/// The highest wire protocol version this implementation speaks (see
+/// [`negotiate`]). Version 2 adds the 4-byte trace-context extension to
+/// `DATA` frames.
+pub const VERSION: u8 = 2;
+
+/// The lowest wire protocol version this implementation still decodes.
+/// Advertised in `HELLO` so a v1-only peer negotiates the connection down
+/// to the trace-free v1 encoding.
+pub const VERSION_MIN: u8 = 1;
 
 /// Upper bound on the encoded length of one frame body (the `u32` length
 /// prefix may not exceed this). Protects receivers from unbounded
@@ -122,6 +133,12 @@ pub struct DataFrame {
     /// virtual-node inbox (the load-balancing extension) rather than the
     /// processor's own inbox.
     pub via_vnode: bool,
+    /// Causal trace context: the id of the miss whose handling produced
+    /// this message (`0` = none). Carried on the wire only under version
+    /// ≥ 2; a frame encoded at `version` 1 omits the field entirely and
+    /// decodes with the context reported absent (`0`). Pure metadata —
+    /// never consulted for sequencing or delivery.
+    pub trace: u32,
     /// The protocol message itself.
     pub msg: ProtoMsg,
 }
@@ -320,6 +337,10 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, WireError> {
             put_u32(&mut body, d.dst);
             put_u64(&mut body, d.pair_seq);
             body.push(u8::from(d.via_vnode));
+            if d.version >= 2 {
+                // v2 trace-context extension; v1 streams omit the field.
+                put_u32(&mut body, d.trace);
+            }
             encode_msg(&d.msg, &mut body);
         }
         Frame::Ack { version, cum_seq } => {
@@ -462,21 +483,27 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, WireError> {
         }
         KIND_DATA => {
             let version = c.u8()?;
-            if version != VERSION {
+            if !(VERSION_MIN..=VERSION).contains(&version) {
                 return Err(WireError::UnknownVersion(version));
             }
+            let src = c.u32()?;
+            let dst = c.u32()?;
+            let pair_seq = c.u64()?;
+            let via_vnode = c.bool()?;
+            let trace = if version >= 2 { c.u32()? } else { 0 };
             Frame::Data(DataFrame {
                 version,
-                src: c.u32()?,
-                dst: c.u32()?,
-                pair_seq: c.u64()?,
-                via_vnode: c.bool()?,
+                src,
+                dst,
+                pair_seq,
+                via_vnode,
+                trace,
                 msg: decode_msg(&mut c)?,
             })
         }
         KIND_ACK => {
             let version = c.u8()?;
-            if version != VERSION {
+            if !(VERSION_MIN..=VERSION).contains(&version) {
                 return Err(WireError::UnknownVersion(version));
             }
             Frame::Ack { version, cum_seq: c.u64()? }
@@ -554,12 +581,13 @@ mod tests {
 
     #[test]
     fn hello_frame_layout_is_stable() {
-        let bytes = encode_frame(&Frame::Hello { ver_min: 1, ver_max: 1, node: 2 }).unwrap();
+        let bytes = encode_frame(&Frame::Hello { ver_min: VERSION_MIN, ver_max: VERSION, node: 2 })
+            .unwrap();
         // len(11) | kind | magic | min | max | node
-        assert_eq!(bytes, [11, 0, 0, 0, 0x01, b'S', b'H', b'W', b'P', 1, 1, 2, 0, 0, 0]);
+        assert_eq!(bytes, [11, 0, 0, 0, 0x01, b'S', b'H', b'W', b'P', 1, 2, 2, 0, 0, 0]);
         assert_eq!(
             decode_body(&bytes[4..]).unwrap(),
-            Frame::Hello { ver_min: 1, ver_max: 1, node: 2 }
+            Frame::Hello { ver_min: 1, ver_max: 2, node: 2 }
         );
     }
 
@@ -572,7 +600,11 @@ mod tests {
 
     #[test]
     fn ack_and_bye_round_trip() {
-        for f in [Frame::Ack { version: VERSION, cum_seq: 0x0102_0304 }, Frame::Bye] {
+        for f in [
+            Frame::Ack { version: VERSION, cum_seq: 0x0102_0304 },
+            Frame::Ack { version: VERSION_MIN, cum_seq: 9 },
+            Frame::Bye,
+        ] {
             let bytes = encode_frame(&f).unwrap();
             assert_eq!(decode_body(&bytes[4..]).unwrap(), f);
         }
@@ -598,6 +630,7 @@ mod tests {
             dst: 4,
             pair_seq: 7,
             via_vnode: false,
+            trace: 0x00C0_FFEE,
             msg: ProtoMsg::ReadReq { block: Block { start: 0x2000, len: 64 } },
         });
         let bytes = encode_frame(&f).unwrap();
@@ -608,5 +641,31 @@ mod tests {
         assert_eq!(r.next_frame().unwrap(), Some(f));
         assert_eq!(r.next_frame().unwrap(), None);
         assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn v1_data_frames_have_no_trace_field() {
+        let mk = |version, trace| {
+            Frame::Data(DataFrame {
+                version,
+                src: 1,
+                dst: 5,
+                pair_seq: 3,
+                via_vnode: true,
+                trace,
+                msg: ProtoMsg::InvAck { block: Block { start: 0x40, len: 64 } },
+            })
+        };
+        // Encoding under a connection negotiated down to v1 drops the
+        // trace context entirely: the bytes are exactly the v1 bytes,
+        // whatever the struct field held.
+        let v1_plain = encode_frame(&mk(1, 0)).unwrap();
+        let v1_traced = encode_frame(&mk(1, 42)).unwrap();
+        assert_eq!(v1_plain, v1_traced);
+        assert_eq!(decode_body(&v1_traced[4..]).unwrap(), mk(1, 0));
+        // A v2 frame is exactly 4 bytes longer and round-trips the value.
+        let v2 = encode_frame(&mk(2, 42)).unwrap();
+        assert_eq!(v2.len(), v1_plain.len() + 4);
+        assert_eq!(decode_body(&v2[4..]).unwrap(), mk(2, 42));
     }
 }

@@ -15,7 +15,15 @@ use shasta_transport::wire::{
 use shasta_transport::{Backend, DropPlan, LoopbackTransport};
 
 fn data_frame(msg: ProtoMsg) -> Frame {
-    Frame::Data(DataFrame { version: VERSION, src: 0, dst: 4, pair_seq: 1, via_vnode: false, msg })
+    Frame::Data(DataFrame {
+        version: VERSION,
+        src: 0,
+        dst: 4,
+        pair_seq: 1,
+        via_vnode: false,
+        trace: 0,
+        msg,
+    })
 }
 
 #[test]
@@ -62,9 +70,9 @@ fn unknown_version_and_kind_are_rejected() {
 
 #[test]
 fn frame_length_ceiling_is_exact() {
-    // A ReadReply DATA body is 40 bytes of fixed fields plus the data:
+    // A v2 ReadReply DATA body is 44 bytes of fixed fields plus the data:
     // the largest legal payload hits MAX_FRAME_LEN exactly.
-    let fixed = 40usize;
+    let fixed = 44usize;
     let fits = encode_frame(&data_frame(ProtoMsg::ReadReply {
         block: Block { start: 0, len: 0 },
         data: vec![0; MAX_FRAME_LEN as usize - fixed],
@@ -144,6 +152,7 @@ proptest! {
         dst in 0u32..16,
         pair_seq in any::<u64>(),
         vnode in 0u8..2,
+        trace in any::<u32>(),
     ) {
         let block = Block { start: a, len: b };
         let msg = match kind {
@@ -184,6 +193,7 @@ proptest! {
             dst,
             pair_seq,
             via_vnode: vnode == 1,
+            trace,
             msg,
         });
         let bytes = encode_frame(&frame).unwrap();

@@ -5,7 +5,7 @@
 
 use shasta_core::protocol::{DirUpdate, ProtoMsg};
 use shasta_core::space::Block;
-use shasta_transport::wire::{decode_body, encode_frame, DataFrame, Frame, VERSION};
+use shasta_transport::wire::{decode_body, encode_frame, DataFrame, Frame, VERSION, VERSION_MIN};
 
 const SPEC: &str = include_str!("../../../docs/TRANSPORT.md");
 
@@ -13,7 +13,7 @@ const SPEC: &str = include_str!("../../../docs/TRANSPORT.md");
 /// frame its prose describes.
 fn expected() -> Vec<(&'static str, Frame)> {
     vec![
-        ("hello", Frame::Hello { ver_min: 1, ver_max: 1, node: 2 }),
+        ("hello", Frame::Hello { ver_min: 1, ver_max: 2, node: 2 }),
         (
             "data-read-req",
             Frame::Data(DataFrame {
@@ -22,6 +22,21 @@ fn expected() -> Vec<(&'static str, Frame)> {
                 dst: 9,
                 pair_seq: 7,
                 via_vnode: false,
+                trace: 5,
+                msg: ProtoMsg::ReadReq { block: Block { start: 0x2000, len: 64 } },
+            }),
+        ),
+        (
+            // The same request on a connection negotiated down to v1: the
+            // trace-context field is absent, not zero-filled.
+            "data-read-req-v1",
+            Frame::Data(DataFrame {
+                version: 1,
+                src: 1,
+                dst: 9,
+                pair_seq: 7,
+                via_vnode: false,
+                trace: 0,
                 msg: ProtoMsg::ReadReq { block: Block { start: 0x2000, len: 64 } },
             }),
         ),
@@ -33,6 +48,7 @@ fn expected() -> Vec<(&'static str, Frame)> {
                 dst: 1,
                 pair_seq: 12,
                 via_vnode: false,
+                trace: 5,
                 msg: ProtoMsg::ReadReply {
                     block: Block { start: 0x2000, len: 64 },
                     data: vec![0xde, 0xad, 0xbe, 0xef],
@@ -47,6 +63,7 @@ fn expected() -> Vec<(&'static str, Frame)> {
                 dst: 8,
                 pair_seq: 2,
                 via_vnode: true,
+                trace: 0,
                 msg: ProtoMsg::DirUpdateMsg {
                     block: Block { start: 0x1c0, len: 64 },
                     update: DirUpdate::OwnedBy { writer: 3 },
@@ -123,6 +140,38 @@ fn every_expected_example_is_in_the_doc() {
             "docs/TRANSPORT.md lost its {name:?} example (have: {names:?})"
         );
     }
+}
+
+#[test]
+fn trace_context_is_absent_when_negotiated_down_to_v1() {
+    // Satellite of the v2 extension spec: a sender whose connection
+    // negotiated to v1 must emit the exact v1 bytes — whatever trace
+    // context the engine installed — and a receiver decoding those bytes
+    // reports the context as absent (0), not as garbage read from the
+    // message payload.
+    let mk = |version, trace| {
+        Frame::Data(DataFrame {
+            version,
+            src: 1,
+            dst: 9,
+            pair_seq: 7,
+            via_vnode: false,
+            trace,
+            msg: ProtoMsg::ReadReq { block: Block { start: 0x2000, len: 64 } },
+        })
+    };
+    let v1_bytes = encode_frame(&mk(VERSION_MIN, 0xdead_beef)).unwrap();
+    // Byte-identical to the documented v1 example (which has trace 0).
+    let doc = doc_examples();
+    let (_, doc_v1) = doc.iter().find(|(n, _)| n == "data-read-req-v1").unwrap();
+    assert_eq!(&v1_bytes, doc_v1);
+    // Decodes with the context reported absent.
+    assert_eq!(decode_body(&v1_bytes[4..]).unwrap(), mk(VERSION_MIN, 0));
+    // The v2 encoding of the same message differs only by the 4 trace
+    // bytes between the flags byte and the message tag.
+    let v2_bytes = encode_frame(&mk(VERSION, 5)).unwrap();
+    assert_eq!(v2_bytes.len(), v1_bytes.len() + 4);
+    assert_eq!(v2_bytes[23..27], [5, 0, 0, 0], "trace context sits after the flags byte");
 }
 
 #[test]

@@ -2,7 +2,9 @@
 # Tabulates every BENCH_*.json artifact at the repo root into one terminal
 # summary: the obs-overhead trajectory (one line per recorded run), the
 # sharing-advisor closed loop, the advisor-sweep trajectory (auto vs hand
-# Table 2 hints), and a generic scalar dump for any future artifact.
+# Table 2 hints), the transport trajectory (with per-pair ACK-RTT metrics),
+# the per-topology breakdown trajectory, and a generic scalar dump for any
+# future artifact.
 # Read-only; uses only the Python standard library.
 #
 # Usage: scripts/bench_summary.sh          (from anywhere; cd's to the repo root)
@@ -46,11 +48,17 @@ def obs_overhead(doc):
         print("  latest run, per app:")
         w = max(len(a.get("name", "?")) for a in last)
         for a in last:
+            metrics = ""
+            if "metrics_overhead_pct" in a:
+                metrics = (
+                    f"  metrics {a.get('wall_ms_metrics', 0):7.2f} ms "
+                    f"({a.get('metrics_overhead_pct', 0):+6.2f}%)"
+                )
             print(
                 f"    {a.get('name', '?'):<{w}}  {a.get('proto', '?'):<7} "
                 f"wall {a.get('wall_ms_off', 0):7.2f} -> {a.get('wall_ms_on', 0):7.2f} ms "
                 f"({a.get('recording_overhead_pct', 0):+6.2f}%)  "
-                f"{a.get('events', 0):>9} events"
+                f"{a.get('events', 0):>9} events{metrics}"
             )
 
 
@@ -188,6 +196,7 @@ def transport(doc):
             f"  run #{i}: quick={cfg.get('quick', '?')} "
             f"differential_pass={summ.get('differential_pass', '?')} "
             f"retransmit_pass={summ.get('retransmit_pass', '?')} "
+            f"metrics_pass={summ.get('metrics_pass', '?')} "
             f"total_wall_ms={summ.get('total_wall_ms', '?')}"
         )
     last = runs[-1]
@@ -205,13 +214,55 @@ def transport(doc):
                 f"counters {'equal' if r.get('pass') else 'DIVERGED'}  "
                 f"{r.get('wall_ms', 0):7.1f} ms"
             )
+            for p in r.get("ack_rtt_pairs", []):
+                print(
+                    f"      ack-rtt {p.get('pair', '?'):<8} n={p.get('count', 0):>6}  "
+                    f"p50 {p.get('p50_ns', 0):>8} ns  p95 {p.get('p95_ns', 0):>8} ns  "
+                    f"p99 {p.get('p99_ns', 0):>8} ns"
+                )
     rt = last.get("retransmit", {})
     if rt:
         print(
             f"  retransmit: drops={rt.get('induced_drops', '?')} "
             f"retransmits={rt.get('retransmits', '?')} holds={rt.get('holds', '?')} "
-            f"resequenced={rt.get('resequenced', '?')} pass={rt.get('pass', '?')}"
+            f"resequenced={rt.get('resequenced', '?')} "
+            f"first_tx_dropped_metric={rt.get('first_tx_dropped_metric', '?')} "
+            f"metrics_match_drops={rt.get('metrics_match_drops', '?')} "
+            f"pass={rt.get('pass', '?')}"
         )
+
+
+def topology_breakdown(doc):
+    runs = doc.get("runs")
+    if runs is None:  # tolerate a hand-made single-run file
+        runs = [doc]
+    print(f"{len(runs)} recorded sweep(s); per run: accounting / identity criteria")
+    for i, run in enumerate(runs, 1):
+        cfg = run.get("config", {})
+        summ = run.get("summary", {})
+        print(
+            f"  run #{i}: quick={cfg.get('quick', '?')} preset={cfg.get('preset', '?')} "
+            f"procs={cfg.get('procs', '?')} "
+            f"crosscheck_pass={summ.get('crosscheck_pass', '?')} "
+            f"metrics_identity={summ.get('metrics_identity', '?')} "
+            f"total_wall_ms={summ.get('total_wall_ms', '?')}"
+        )
+    cells = runs[-1].get("cells", [])
+    if cells:
+        print("  latest sweep, per (topology, kernel) cell:")
+        wk = max(len(c.get("kind", "?")) for c in cells)
+        wa = max(len(c.get("app", "?")) for c in cells)
+        for c in cells:
+            comps = c.get("components", {})
+            busy = sum(v for v in comps.values() if isinstance(v, (int, float)))
+            print(
+                f"    {c.get('kind', '?'):<{wk}}  {c.get('app', '?'):<{wa}}  "
+                f"elapsed {c.get('elapsed_cycles', 0):>12}  busy {busy:>12}  "
+                f"idle {c.get('idle_cycles', 0):>10}  "
+                f"link-occ {c.get('link_occupancy_cycles', 0):>10}  "
+                f"{'exact' if c.get('crosscheck_pass') else 'DIVERGED'}/"
+                f"{'identical' if c.get('metrics_identity') else 'PERTURBED'}"
+            )
 
 
 def generic(doc):
@@ -247,6 +298,8 @@ for path in sys.argv[1:]:
         fault_sweep(doc)
     elif path == "BENCH_transport.json":
         transport(doc)
+    elif path == "BENCH_topology_breakdown.json":
+        topology_breakdown(doc)
     else:
         generic(doc)
 print()

@@ -46,6 +46,36 @@ cargo run --release -p shasta-bench --bin fig4_breakdown -- \
 test -s "$trace_tmp" || { echo "trace export is empty"; exit 1; }
 rm -f "$trace_tmp"
 
+echo "==> metrics byte-identity (figure 4 and checker output, metrics off vs on)"
+# Attaching a live metrics registry must not perturb a single simulated
+# cycle: Figure 4's stdout and the checker's deterministic trace export must
+# be byte-identical with and without --metrics.
+m_off="$(mktemp /tmp/shasta-ci-m-off.XXXXXX.txt)"
+m_on="$(mktemp /tmp/shasta-ci-m-on.XXXXXX.txt)"
+cargo run --release -p shasta-bench --bin fig4_breakdown -- \
+  --preset tiny > "$m_off"
+cargo run --release -p shasta-bench --bin fig4_breakdown -- \
+  --preset tiny --metrics > "$m_on"
+diff -u "$m_off" "$m_on" || { echo "fig4 diverged with metrics enabled"; exit 1; }
+ck_off="$(mktemp /tmp/shasta-ci-ck-off.XXXXXX.json)"
+ck_on="$(mktemp /tmp/shasta-ci-ck-on.XXXXXX.json)"
+cargo run --release -p shasta-check --bin check -- \
+  --seeds 8 -j 0 --quiet --skip-validation --trace "$ck_off"
+cargo run --release -p shasta-check --bin check -- \
+  --seeds 8 -j 0 --quiet --skip-validation --trace "$ck_on" --metrics
+diff -u "$ck_off" "$ck_on" || { echo "checker trace diverged with metrics enabled"; exit 1; }
+rm -f "$m_off" "$m_on" "$ck_off" "$ck_on"
+
+echo "==> topology-breakdown smoke (--quick: every ClusterKind, exact cycle accounting)"
+# The binary itself asserts the event-derived breakdown accounts for every
+# cycle (zero tolerance vs the shasta-stats counters) and that the
+# metrics-on twin of each cell is simulated-cycle-identical.
+topo_tmp="$(mktemp /tmp/shasta-ci-topo.XXXXXX.json)"
+cargo run --release -p shasta-bench --bin topology_breakdown -- \
+  --quick --out "$topo_tmp" > /dev/null
+test -s "$topo_tmp" || { echo "topology_breakdown JSON is empty"; exit 1; }
+rm -f "$topo_tmp"
+
 echo "==> sharing-profiler smoke (tiny preset; asserts the closed advisor loop)"
 # The binary itself aborts unless the synthetic false-sharing workload is
 # classified false-shared, the advisor recommends a smaller block, and the
@@ -119,14 +149,17 @@ tb_a="$(mktemp /tmp/shasta-ci-transport-a.XXXXXX.json)"
 tb_b="$(mktemp /tmp/shasta-ci-transport-b.XXXXXX.json)"
 tc_a="$(mktemp /tmp/shasta-ci-transport-cnt-a.XXXXXX.txt)"
 tc_b="$(mktemp /tmp/shasta-ci-transport-cnt-b.XXXXXX.txt)"
+wt_tmp="$(mktemp /tmp/shasta-ci-wiretrace.XXXXXX.json)"
 cargo run --release -p shasta-bench --bin transport_bench -- \
-  --quick --out "$tb_a" --counters "$tc_a" > /dev/null
+  --quick --out "$tb_a" --counters "$tc_a" --trace "$wt_tmp" > /dev/null
 cargo run --release -p shasta-bench --bin transport_bench -- \
   --quick --out "$tb_b" --counters "$tc_b" > /dev/null
 test -s "$tb_a" || { echo "transport_bench JSON is empty"; exit 1; }
 test -s "$tc_a" || { echo "transport counters report is empty"; exit 1; }
+test -s "$wt_tmp" || { echo "merged engine+wire trace is empty"; exit 1; }
+grep -q '"cat":"wire"' "$wt_tmp" || { echo "merged trace carries no wire events"; exit 1; }
 diff -u "$tc_a" "$tc_b" || { echo "sim-backend counters are not deterministic"; exit 1; }
-rm -f "$tb_a" "$tb_b" "$tc_a" "$tc_b"
+rm -f "$tb_a" "$tb_b" "$tc_a" "$tc_b" "$wt_tmp"
 
 echo "==> perf regression gate (tracked trajectories)"
 scripts/perf_gate.sh

@@ -3,7 +3,9 @@
 # Compares the LAST trajectory entry against the one before it:
 #
 #   BENCH_obs_overhead.json  fail if max_recording_overhead_pct rose by
-#                            more than 3 percentage points
+#                            more than 3 percentage points (and likewise
+#                            max_metrics_overhead_pct once both entries
+#                            carry it)
 #   BENCH_host_perf.json     fail if total_wall_ms (serial sweep + unrecorded
 #                            app walls — the single-thread hot path) rose by
 #                            more than 15%
@@ -14,11 +16,17 @@
 #                            fabric's admit guard lives on the delivery hot
 #                            path)
 #   BENCH_transport.json     fail if the last run's criterion booleans
-#                            (differential_pass, retransmit_pass) are not
-#                            both true — gated from the FIRST entry on —
-#                            or if total_wall_ms rose by more than 50%
+#                            (differential_pass, retransmit_pass, and
+#                            metrics_pass where present) are not all true —
+#                            gated from the FIRST entry on — or if
+#                            total_wall_ms rose by more than 50%
 #                            (real-socket walls are noisier than simulated
 #                            ones)
+#   BENCH_topology_breakdown.json
+#                            fail if the last run's criterion booleans
+#                            (crosscheck_pass, metrics_identity) are not
+#                            both true — gated from the FIRST entry on —
+#                            or if total_wall_ms rose by more than 25%
 #
 # A file with fewer than two entries (or no file at all) is informational
 # only for the wall-time comparisons: the trajectory has nothing to compare
@@ -37,6 +45,7 @@ OBS_MAX_DELTA_POINTS = 3.0
 HOST_MAX_RATIO = 1.15
 FAULT_MAX_RATIO = 1.25
 TRANSPORT_MAX_RATIO = 1.50
+TOPOLOGY_MAX_RATIO = 1.25
 
 failures = []
 
@@ -83,6 +92,23 @@ if runs is not None:
     )
     if verdict == "FAIL":
         failures.append("recording overhead regressed")
+    prev_m = runs[-2]["summary"].get("max_metrics_overhead_pct")
+    last_m = runs[-1]["summary"].get("max_metrics_overhead_pct")
+    if prev_m is not None and last_m is not None:
+        delta = last_m - prev_m
+        verdict = "OK" if delta <= OBS_MAX_DELTA_POINTS else "FAIL"
+        print(
+            f"BENCH_obs_overhead.json: max metrics overhead "
+            f"{prev_m:.2f}% -> {last_m:.2f}% ({delta:+.2f} points, "
+            f"limit +{OBS_MAX_DELTA_POINTS}) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append("metrics overhead regressed")
+    else:
+        print(
+            "BENCH_obs_overhead.json: max_metrics_overhead_pct needs two "
+            "entries carrying it — skipping"
+        )
 
 runs = runs_of("BENCH_host_perf.json")
 if runs is not None:
@@ -128,6 +154,8 @@ runs = all_runs_of("BENCH_transport.json")
 if runs:
     summ = runs[-1]["summary"]
     bools = ["differential_pass", "retransmit_pass"]
+    if "metrics_pass" in summ:  # entries predating the wire metrics lack it
+        bools.append("metrics_pass")
     bad = [k for k in bools if summ.get(k) is not True]
     verdict = "OK" if not bad else "FAIL"
     print(
@@ -150,6 +178,33 @@ if runs:
             failures.append("transport wall-clock regressed")
     else:
         print("BENCH_transport.json: 1 entry; wall-time gate needs 2 — skipping")
+
+runs = all_runs_of("BENCH_topology_breakdown.json")
+if runs:
+    summ = runs[-1]["summary"]
+    bools = ["crosscheck_pass", "metrics_identity"]
+    bad = [k for k in bools if summ.get(k) is not True]
+    verdict = "OK" if not bad else "FAIL"
+    print(
+        "BENCH_topology_breakdown.json: "
+        + " ".join(f"{k}={summ.get(k)}" for k in bools)
+        + f" {verdict}"
+    )
+    if bad:
+        failures.append("topology-breakdown criteria failed: " + ", ".join(bad))
+    if len(runs) >= 2:
+        prev = runs[-2]["summary"]["total_wall_ms"]
+        last = summ["total_wall_ms"]
+        ratio = last / prev if prev > 0 else float("inf")
+        verdict = "OK" if ratio <= TOPOLOGY_MAX_RATIO else "FAIL"
+        print(
+            f"BENCH_topology_breakdown.json: total_wall_ms {prev:.1f} -> {last:.1f} "
+            f"({ratio:.3f}x, limit {TOPOLOGY_MAX_RATIO}x) {verdict}"
+        )
+        if verdict == "FAIL":
+            failures.append("topology-breakdown wall-clock regressed")
+    else:
+        print("BENCH_topology_breakdown.json: 1 entry; wall-time gate needs 2 — skipping")
 
 if failures:
     print("perf gate FAILED: " + "; ".join(failures))
